@@ -1,0 +1,44 @@
+// Ablation: cost of the MPICH Channel Interface layer.
+//
+// Section 7 of the paper: "The first direction is to remove the Channel
+// Interface layer by creating an Abstract Device Interface layer directly
+// on top of the BillBoard API." This bench estimates the payoff by zeroing
+// the channel-interface packetization costs (the extra copy) while keeping
+// the rest of the MPI stack.
+#include <iostream>
+
+#include "bench_util.h"
+#include "harness/benchops.h"
+
+using namespace scrnet;
+using namespace scrnet::bench;
+using namespace scrnet::harness;
+
+int main() {
+  header("Ablation: removing the Channel Interface layer",
+         "the paper's Section 7 'future work' direction, quantified");
+
+  ScramnetOptions with_ci;  // defaults: full MPICH-style stack
+
+  ScramnetOptions no_ci;
+  no_ci.mpi.channel_pack = 0;       // no packetization step
+  no_ci.mpi.per_byte_scale = 0.15;  // direct-to-user delivery keeps a touch
+  no_ci.mpi.adi_dispatch = us(2);   // ADI talks straight to the BBP
+
+  const std::vector<u32> sizes{0, 4, 64, 256, 512, 1000};
+  Series a{"MPI w/ channel iface", {}}, b{"MPI direct-ADI (est.)", {}},
+      api{"raw BBP API", {}};
+  for (u32 s : sizes) {
+    a.us.push_back(mpi_scramnet_oneway_us(s, 4, 20, 4, with_ci));
+    b.us.push_back(mpi_scramnet_oneway_us(s, 4, 20, 4, no_ci));
+    api.us.push_back(bbp_oneway_us(s));
+  }
+  print_series(sizes, {a, b, api});
+
+  std::cout << "\nChecks:\n";
+  check_shape("removing the channel layer saves fixed overhead at 0B",
+              b.us[0] < a.us[0] - 4.0);
+  check_shape("and most of the per-byte MPI penalty at 1000B",
+              (b.us.back() - api.us.back()) < 0.5 * (a.us.back() - api.us.back()));
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Ablation/extension: the ring hierarchy Section 2 proposes for systems
+// beyond one ring. BBP latency within a leaf ring vs across the backbone,
+// and a system-wide multicast on a 12-node (3x4) hierarchy.
+#include <iostream>
+
+#include "bbp/endpoint.h"
+#include "bench_util.h"
+#include "common/bytes.h"
+#include "scramnet/hierarchy.h"
+
+using namespace scrnet;
+using namespace scrnet::bench;
+using namespace scrnet::scramnet;
+
+namespace {
+
+double oneway_us(u32 from, u32 to, u32 bytes, HierarchyConfig cfg) {
+  sim::Simulation sim;
+  RingHierarchy h(sim, cfg);
+  SimTime t0 = 0, t1 = 0;
+  sim.spawn("tx", [&](sim::Process& p) {
+    HierarchyPort port(h, from, p);
+    bbp::Endpoint ep(port, h.nodes(), from);
+    std::vector<u8> msg(bytes);
+    t0 = p.now();
+    (void)ep.send(to, msg);
+    ep.drain();
+  });
+  sim.spawn("rx", [&](sim::Process& p) {
+    HierarchyPort port(h, to, p);
+    bbp::Endpoint ep(port, h.nodes(), to);
+    std::vector<u8> buf(std::max<u32>(bytes, 4));
+    (void)ep.recv(from, buf);
+    t1 = p.now();
+  });
+  sim.run();
+  return to_us(t1 - t0);
+}
+
+double bcast_all_us(u32 bytes, HierarchyConfig cfg) {
+  sim::Simulation sim;
+  RingHierarchy h(sim, cfg);
+  const u32 n = h.nodes();
+  SimTime t0 = 0, last = 0;
+  sim.spawn("root", [&](sim::Process& p) {
+    HierarchyPort port(h, 0, p);
+    bbp::Endpoint ep(port, n, 0);
+    std::vector<u32> dests;
+    for (u32 r = 1; r < n; ++r) dests.push_back(r);
+    std::vector<u8> msg(bytes);
+    t0 = p.now();
+    (void)ep.mcast(dests, msg);
+    ep.drain();
+  });
+  for (u32 r = 1; r < n; ++r) {
+    sim.spawn("rx" + std::to_string(r), [&, r](sim::Process& p) {
+      HierarchyPort port(h, r, p);
+      bbp::Endpoint ep(port, n, r);
+      std::vector<u8> buf(std::max<u32>(bytes, 4));
+      (void)ep.recv(0, buf);
+      if (p.now() > last) last = p.now();
+    });
+  }
+  sim.run();
+  return to_us(last - t0);
+}
+
+}  // namespace
+
+int main() {
+  header("Extension: two-level ring hierarchy (3 rings x 4 nodes)",
+         "Section 2: 'for systems larger than 256 nodes, a hierarchy of "
+         "rings can be used'");
+
+  HierarchyConfig cfg;
+  cfg.leaf_rings = 3;
+  cfg.nodes_per_ring = 4;
+  cfg.bank_words = 1u << 16;
+
+  Table t({"path", "4 B (us)", "256 B (us)", "1024 B (us)"});
+  struct Path {
+    const char* name;
+    u32 from, to;
+  };
+  const Path paths[] = {
+      {"same ring (1 -> 2)", 1, 2},
+      {"to own bridge (1 -> 0)", 1, 0},
+      {"cross-ring (1 -> 6)", 1, 6},
+      {"worst case (1 -> 11)", 1, 11},
+  };
+  double same4 = 0, cross4 = 0;
+  for (const Path& pth : paths) {
+    const double a = oneway_us(pth.from, pth.to, 4, cfg);
+    const double b = oneway_us(pth.from, pth.to, 256, cfg);
+    const double c = oneway_us(pth.from, pth.to, 1024, cfg);
+    if (pth.from == 1 && pth.to == 2) same4 = a;
+    if (pth.from == 1 && pth.to == 6) cross4 = a;
+    t.add_row({pth.name, Table::num(a), Table::num(b), Table::num(c)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\n12-node hardware multicast (one bbp_Mcast, all nodes):\n";
+  Table t2({"bytes", "bcast-to-all latency (us)"});
+  for (u32 b : {4u, 256u, 1024u})
+    t2.add_row({std::to_string(b), Table::num(bcast_all_us(b, cfg))});
+  t2.print(std::cout);
+
+  std::cout << "\nChecks:\n";
+  check_shape("same-ring latency matches the flat 4-node ring (~7-8us)",
+              same4 > 6.0 && same4 < 9.5);
+  check_shape("cross-ring adds two bridge hops (~4-8us more)",
+              cross4 > same4 + 3.0 && cross4 < same4 + 12.0);
+  check_shape("12-node mcast still one send-side operation, < 3x unicast",
+              bcast_all_us(4, cfg) < 3.0 * cross4);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation: scaling with ring size (2-16 nodes). The paper's testbed stops
+// at 4 nodes; Section 2 argues the single-step multicast should keep
+// broadcast near-flat while point-to-point trees grow with log2(N) rounds.
+#include <iostream>
+
+#include "bench_util.h"
+#include "harness/benchops.h"
+
+using namespace scrnet;
+using namespace scrnet::bench;
+using namespace scrnet::harness;
+
+int main() {
+  header("Ablation: ring size scaling (2-16 nodes)",
+         "extrapolates the paper's 4-node testbed per its Section 2 claims");
+
+  Table t({"nodes", "BBP p2p (us)", "BBP bcast (us)", "MPI barrier API (us)",
+           "MPI barrier p2p (us)"});
+  struct Row {
+    u32 n;
+    double p2p, bcast, bar_api, bar_p2p;
+  };
+  std::vector<Row> rows;
+  for (u32 n : {2u, 4u, 8u, 16u}) {
+    Row r{n, bbp_oneway_us(4, n),
+          n >= 2 ? bbp_bcast_us(4, n) : 0.0,
+          mpi_scramnet_barrier_us(scrmpi::CollAlgo::kNativeMcast, n),
+          mpi_scramnet_barrier_us(scrmpi::CollAlgo::kPointToPoint, n)};
+    rows.push_back(r);
+    t.add_row({std::to_string(n), Table::num(r.p2p), Table::num(r.bcast),
+               Table::num(r.bar_api), Table::num(r.bar_p2p)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nChecks:\n";
+  check_shape("p2p latency nearly independent of ring size (bounded hops)",
+              rows.back().p2p < rows.front().p2p + 6.0);
+  check_shape("single-step bcast grows only mildly with node count",
+              rows.back().bcast < 3.0 * rows[1].bcast);
+  check_shape("API barrier stays well below the p2p tree at every size",
+              [&] {
+                for (const Row& r : rows)
+                  if (r.bar_api >= r.bar_p2p) return false;
+                return true;
+              }());
+  // The flip side of the paper's design: the mcast barrier's *release* is
+  // single-step, but its gather is a linear coordinator, so it must grow
+  // faster than the log2 tree as N rises -- the mcast advantage is a
+  // small-cluster property. Quantify the erosion:
+  const double adv4 = rows[1].bar_p2p / rows[1].bar_api;
+  const double adv16 = rows.back().bar_p2p / rows.back().bar_api;
+  std::cout << "  p2p/API barrier advantage: " << Table::num(adv4) << "x at 4 nodes, "
+            << Table::num(adv16) << "x at 16 nodes\n";
+  check_shape("linear coordinator erodes the mcast advantage as N grows",
+              adv16 < adv4);
+  return 0;
+}

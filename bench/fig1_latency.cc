@@ -1,0 +1,62 @@
+// Figure 1: One-way message latency on SCRAMNet at the BillBoard API level
+// and at the MPI level, for 0-64 bytes and 0-1000 bytes.
+//
+// Paper values: API 0 B = 6.5 us, 4 B = 7.8 us; MPI 0 B = 44 us,
+// 4 B = 49 us; "the MPI layer only adds a constant overhead to the API
+// layer latency".
+#include <iostream>
+
+#include "bench_util.h"
+#include "harness/benchops.h"
+
+using namespace scrnet;
+using namespace scrnet::bench;
+using namespace scrnet::harness;
+
+namespace {
+
+void sweep(const std::vector<u32>& sizes, const char* label) {
+  Series api{"SCRAMNet API", {}}, mpi{"MPI", {}}, delta{"MPI - API", {}};
+  for (u32 s : sizes) {
+    const double a = bbp_oneway_us(s);
+    const double m = mpi_scramnet_oneway_us(s);
+    api.us.push_back(a);
+    mpi.us.push_back(m);
+    delta.us.push_back(m - a);
+  }
+  std::cout << "\n-- " << label << " --\n";
+  print_series(sizes, {api, mpi, delta});
+}
+
+}  // namespace
+
+int main() {
+  header("Figure 1: SCRAMNet one-way latency, BillBoard API vs MPI",
+         "Moorthy et al., IPPS 1999, Figure 1 + Section 5 headline numbers");
+
+  sweep({0, 4, 8, 16, 32, 48, 64}, "small messages (0-64 bytes)");
+  sweep({0, 128, 256, 384, 512, 640, 768, 896, 1000}, "0-1000 bytes");
+
+  std::cout << "\nHeadline checks:\n";
+  const double api0 = bbp_oneway_us(0);
+  const double api4 = bbp_oneway_us(4);
+  const double mpi0 = mpi_scramnet_oneway_us(0);
+  const double mpi4 = mpi_scramnet_oneway_us(4);
+  check("API 0-byte one-way", 6.5, api0, 0.15);
+  check("API 4-byte one-way", 7.8, api4, 0.15);
+  check("MPI 0-byte one-way", 44.0, mpi0, 0.15);
+  check("MPI 4-byte one-way", 49.0, mpi4, 0.15);
+
+  // Constant-overhead claim (paper's small-message panel): the MPI-API gap
+  // stays nearly constant across 0-64 B. Over the 0-1000 B panel the gap
+  // grows slowly with size -- that per-byte term is the channel-interface
+  // copy, and it is also what produces Figure 3's 512 B crossover against
+  // Fast Ethernet (a strictly constant overhead could not: SCRAMNet-MPI
+  // would then stay below Fast-Ethernet-MPI far beyond 1 KB).
+  const double gap0 = mpi0 - api0;
+  const double gap64 = mpi_scramnet_oneway_us(64) - bbp_oneway_us(64);
+  check_shape("MPI adds a near-constant overhead for small messages (gap@0B=" +
+                  Table::num(gap0) + "us, gap@64B=" + Table::num(gap64) + "us)",
+              gap64 < 1.5 * gap0);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 6: MPI_Barrier -- SCRAMNet with the API-multicast implementation
+// vs the MPICH point-to-point algorithm, at 3 and 4 nodes; plus the
+// 3-node barrier on Fast Ethernet and ATM.
+//
+// Paper values: 3-node barrier = 554 us on Fast Ethernet, ~660 us on ATM
+// (OCR "66"; the text says both are *more* expensive than SCRAMNet),
+// 179 us on SCRAMNet point-to-point, 37 us with the API multicast
+// (abstract quotes 37 us for the 4-node barrier).
+#include <iostream>
+
+#include "bench_util.h"
+#include "harness/benchops.h"
+
+using namespace scrnet;
+using namespace scrnet::bench;
+using namespace scrnet::harness;
+
+int main() {
+  header("Figure 6: MPI_Barrier on SCRAMNet, Fast Ethernet and ATM",
+         "Moorthy et al., IPPS 1999, Figure 6");
+
+  Table t({"nodes", "SCRAMNet w/API (us)", "SCRAMNet w/p2p (us)",
+           "FastEth p2p (us)", "ATM p2p (us)"});
+  struct Row {
+    u32 nodes;
+    double scr_api, scr_p2p, fe, atm;
+  };
+  std::vector<Row> rows;
+  for (u32 n : {2u, 3u, 4u}) {
+    Row r{n,
+          mpi_scramnet_barrier_us(scrmpi::CollAlgo::kNativeMcast, n),
+          mpi_scramnet_barrier_us(scrmpi::CollAlgo::kPointToPoint, n),
+          mpi_tcp_barrier_us(TcpFabricKind::kFastEthernet, n),
+          mpi_tcp_barrier_us(TcpFabricKind::kAtm, n)};
+    rows.push_back(r);
+    t.add_row({std::to_string(n), Table::num(r.scr_api), Table::num(r.scr_p2p),
+               Table::num(r.fe), Table::num(r.atm)});
+  }
+  t.print(std::cout);
+
+  const Row& r3 = rows[1];
+  const Row& r4 = rows[2];
+  std::cout << "\nHeadline checks (3-node barrier):\n";
+  check("SCRAMNet w/p2p", 179.0, r3.scr_p2p, 0.35);
+  // Our API barrier keeps the MPICH channel envelope on the null messages
+  // (a 20-byte header the coordinator reads across the I/O bus per
+  // arrival); the paper's implementation called bbp_Mcast directly from
+  // the collective, shaving ~2 us per arrival. Hence the wider band here
+  // -- see EXPERIMENTS.md.
+  check("SCRAMNet w/API", 30.0, r3.scr_api, 0.55);
+  check("Fast Ethernet", 554.0, r3.fe, 0.60);
+  check("ATM", 660.0, r3.atm, 0.60);
+  check("SCRAMNet w/API, 4 nodes", 37.0, r4.scr_api, 0.55);
+
+  std::cout << "\nShape checks:\n";
+  check_shape("ordering: API << p2p << FastEthernet <= ATM",
+              r3.scr_api < r3.scr_p2p && r3.scr_p2p < r3.fe && r3.fe <= r3.atm);
+  check_shape("API barrier scales gently with node count",
+              r4.scr_api < 2.0 * r3.scr_api);
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Host-performance microbenchmarks (google-benchmark, real wall time):
+// how fast the simulator substrate itself runs. All figure benches measure
+// *virtual* time; this one guards the real-time cost of reproducing them.
+#include <benchmark/benchmark.h>
+
+#include "bbp/endpoint.h"
+#include "common/bytes.h"
+#include "scramnet/ring.h"
+#include "scramnet/sim_port.h"
+#include "scramnet/thread_backend.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using namespace scrnet;
+
+/// Raw event throughput of the DES kernel.
+void BM_SimKernelEvents(benchmark::State& state) {
+  const int chain = static_cast<int>(state.range(0));
+  u64 events = 0;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int remaining = chain;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.post(ns(10), tick);
+    };
+    sim.post(ns(10), tick);
+    sim.run();
+    events += sim.events_executed();
+  }
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimKernelEvents)->Arg(1000)->Arg(100000);
+
+/// Process context-switch cost (delay -> kernel -> resume round trip).
+void BM_SimProcessSwitch(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  u64 switches = 0;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim.spawn("p", [&](sim::Process& p) {
+      for (int i = 0; i < hops; ++i) p.delay(ns(5));
+    });
+    sim.run();
+    switches += static_cast<u64>(hops);
+  }
+  state.counters["switch/s"] =
+      benchmark::Counter(static_cast<double>(switches), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimProcessSwitch)->Arg(1000);
+
+/// End-to-end simulated BBP ping-pong per wall second.
+void BM_BbpPingPongSim(benchmark::State& state) {
+  const u32 bytes = static_cast<u32>(state.range(0));
+  u64 msgs = 0;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    scramnet::Ring ring(sim, scramnet::RingConfig{.nodes = 2, .bank_words = 1u << 15});
+    constexpr int kIters = 50;
+    sim.spawn("a", [&](sim::Process& p) {
+      scramnet::SimHostPort port(ring, 0, p);
+      bbp::Endpoint ep(port, 2, 0);
+      std::vector<u8> msg(bytes), buf(std::max<u32>(bytes, 4));
+      for (int i = 0; i < kIters; ++i) {
+        (void)ep.send(1, msg);
+        (void)ep.recv(1, buf);
+      }
+      ep.drain();
+    });
+    sim.spawn("b", [&](sim::Process& p) {
+      scramnet::SimHostPort port(ring, 1, p);
+      bbp::Endpoint ep(port, 2, 1);
+      std::vector<u8> msg(bytes), buf(std::max<u32>(bytes, 4));
+      for (int i = 0; i < kIters; ++i) {
+        (void)ep.recv(0, buf);
+        (void)ep.send(0, msg);
+      }
+      ep.drain();
+    });
+    sim.run();
+    msgs += 2 * 50;
+  }
+  state.counters["msgs/s"] =
+      benchmark::Counter(static_cast<double>(msgs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BbpPingPongSim)->Arg(4)->Arg(1024);
+
+/// BBP over the real-threads backend: actual protocol throughput.
+void BM_BbpPingPongThreads(benchmark::State& state) {
+  const u32 bytes = static_cast<u32>(state.range(0));
+  u64 msgs = 0;
+  for (auto _ : state) {
+    scramnet::ThreadBackend backend(2, 1u << 15);
+    constexpr int kIters = 200;
+    std::thread t1([&] {
+      scramnet::ThreadPort port(backend, 1);
+      bbp::Endpoint ep(port, 2, 1);
+      std::vector<u8> msg(bytes), buf(std::max<u32>(bytes, 4));
+      for (int i = 0; i < kIters; ++i) {
+        (void)ep.recv(0, buf);
+        (void)ep.send(0, msg);
+      }
+      ep.drain();
+    });
+    {
+      scramnet::ThreadPort port(backend, 0);
+      bbp::Endpoint ep(port, 2, 0);
+      std::vector<u8> msg(bytes), buf(std::max<u32>(bytes, 4));
+      for (int i = 0; i < kIters; ++i) {
+        (void)ep.send(1, msg);
+        (void)ep.recv(1, buf);
+      }
+      ep.drain();
+    }
+    t1.join();
+    msgs += 2 * 200;
+  }
+  state.counters["msgs/s"] =
+      benchmark::Counter(static_cast<double>(msgs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BbpPingPongThreads)->Arg(4)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

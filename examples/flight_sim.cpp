@@ -1,0 +1,141 @@
+// flight_sim: the application domain SCRAMNet was built for (Section 1:
+// "aircraft simulators, industrial process control, virtual reality,
+// telemetry and robotics").
+//
+// Four stations run a fixed-rate real-time loop over the replicated
+// shared memory, the way real SCRAMNet deployments do:
+//   * station 0: flight-dynamics host -- writes the aircraft state vector
+//     into its region of SCRAMNet memory every 5 ms frame;
+//   * station 1: control-loading rig  -- writes stick/rudder inputs;
+//   * station 2: visual system        -- reads the state each frame and
+//     renders (here: checks staleness of what it read);
+//   * station 3: instructor station   -- occasionally injects a failure
+//     command through a BBP message (mixing the shared-memory model with
+//     the paper's message passing on the same network).
+//
+// The run reports worst-case state staleness observed by the visual
+// system -- the bounded-latency property Section 2 advertises.
+#include <cstdio>
+#include <cstring>
+
+#include "bbp/endpoint.h"
+#include "scramnet/ring.h"
+#include "scramnet/sim_port.h"
+
+using namespace scrnet;
+
+namespace {
+
+constexpr u32 kFrames = 200;
+constexpr SimTime kFrame = us(5000);  // 200 Hz simulation frame
+
+// Fixed layout in replicated memory (word addresses).
+constexpr u32 kStateBase = 0x100;   // aircraft state: [frame, x, y, z, vx, vy, vz]
+constexpr u32 kStateWords = 7;
+constexpr u32 kControlsBase = 0x200;  // [frame, stick_x, stick_y, rudder]
+constexpr u32 kControlsWords = 4;
+
+u32 f2w(double v) {
+  float f = static_cast<float>(v);
+  u32 w;
+  std::memcpy(&w, &f, 4);
+  return w;
+}
+double w2f(u32 w) {
+  float f;
+  std::memcpy(&f, &w, 4);
+  return f;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("flight_sim: 4 stations on a simulated SCRAMNet ring, 200 Hz\n\n");
+  sim::Simulation sim;
+  scramnet::RingConfig rcfg;
+  rcfg.nodes = 4;
+  scramnet::Ring ring(sim, rcfg);
+
+  u32 failures_injected = 0, failures_seen = 0;
+  SimTime worst_staleness = 0;
+
+  // Station 0: flight dynamics. Owns the state vector.
+  sim.spawn("dynamics", [&](sim::Process& p) {
+    scramnet::SimHostPort port(ring, 0, p);
+    bbp::Endpoint ep(port, 4, 0);
+    double x = 0, y = 0, z = 3000;
+    for (u32 frame = 1; frame <= kFrames; ++frame) {
+      // Read the control rig's latest inputs straight from shared memory.
+      const double stick_x = w2f(port.read_u32(kControlsBase + 1));
+      const double stick_y = w2f(port.read_u32(kControlsBase + 2));
+      x += 120.0 * 0.005;               // ~120 m/s forward
+      y += stick_x * 5.0;
+      z += stick_y * 8.0;
+      const u32 state[kStateWords] = {frame, f2w(x), f2w(y), f2w(z),
+                                      f2w(120.0), f2w(stick_x * 5), f2w(stick_y * 8)};
+      port.write_block(kStateBase + 1, std::span<const u32>(state + 1, 6));
+      port.write_u32(kStateBase, frame);  // frame counter last: consistency flag
+      // Instructor failure commands arrive as BBP messages.
+      if (ep.msg_avail_from(3)) {
+        u8 cmd[16];
+        (void)ep.recv(3, cmd);
+        ++failures_seen;
+      }
+      p.delay(kFrame - us(300));  // rest of the frame budget
+    }
+  });
+
+  // Station 1: control loading. Owns the controls vector.
+  sim.spawn("controls", [&](sim::Process& p) {
+    scramnet::SimHostPort port(ring, 1, p);
+    for (u32 frame = 1; frame <= kFrames; ++frame) {
+      const double phase = frame * 0.05;
+      const u32 ctl[kControlsWords] = {frame, f2w(0.3 * phase), f2w(-0.1), f2w(0.05)};
+      port.write_block(kControlsBase, ctl);
+      p.delay(kFrame);
+    }
+  });
+
+  // Station 2: visual system. Reads state; tracks staleness.
+  sim.spawn("visuals", [&](sim::Process& p) {
+    scramnet::SimHostPort port(ring, 2, p);
+    p.delay(us(1200));  // start mid-frame, like a real async renderer
+    u32 last_frame = 0;
+    for (u32 tick = 0; tick < kFrames; ++tick) {
+      const u32 frame = port.read_u32(kStateBase);
+      if (frame > last_frame) {
+        // Staleness: how far into the frame period are we reading it?
+        const SimTime age = p.now() - static_cast<SimTime>(frame - 1) * kFrame;
+        if (frame > 2 && age > worst_staleness) worst_staleness = age;
+        last_frame = frame;
+      }
+      p.delay(kFrame);
+    }
+  });
+
+  // Station 3: instructor. Injects failure commands over BBP.
+  sim.spawn("instructor", [&](sim::Process& p) {
+    scramnet::SimHostPort port(ring, 3, p);
+    bbp::Endpoint ep(port, 4, 3);
+    for (u32 i = 0; i < 5; ++i) {
+      p.delay(kFrame * 37);
+      const char* cmd = "FAIL ENG2";
+      (void)ep.send(0, {reinterpret_cast<const u8*>(cmd), strlen(cmd) + 1});
+      ++failures_injected;
+    }
+    ep.drain();
+  });
+
+  sim.run();
+
+  std::printf("frames simulated:        %u (%.0f ms of flight)\n", kFrames,
+              to_us(kFrames * kFrame) / 1000.0);
+  std::printf("failure cmds delivered:  %u / %u over BBP\n", failures_seen,
+              failures_injected);
+  std::printf("worst state staleness:   %.1f us (frame period: %.0f us)\n",
+              to_us(worst_staleness), to_us(kFrame));
+  std::printf("\nThe state a renderer reads is at most one frame plus the ring\n"
+              "propagation old -- the bounded-latency behaviour that made\n"
+              "SCRAMNet the standard interconnect for hard-real-time rigs.\n");
+  return failures_seen == failures_injected ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+// heat_stencil: a classic cluster-computing workload (the paper's
+// motivation: "workstation clusters ... for parallel and distributed
+// computing") -- a 1-D heat-diffusion solver with halo exchange on the
+// mini-MPI, run over both SCRAMNet and Fast Ethernet to show where the
+// low-latency network pays off.
+//
+// Each rank owns a block of cells; every iteration exchanges one-cell
+// halos with neighbors (latency-bound small messages -- SCRAMNet's sweet
+// spot) and every 50 iterations does an Allreduce for the residual.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "harness/cluster.h"
+
+using namespace scrnet;
+using namespace scrnet::scrmpi;
+
+namespace {
+
+constexpr u32 kCellsPerRank = 64;
+constexpr u32 kIters = 300;
+constexpr double kAlpha = 0.25;
+
+struct RunResult {
+  double residual = 0;
+  double checksum = 0;
+  SimTime elapsed = 0;
+};
+
+RunResult solve(Mpi& mpi, sim::Process& p) {
+  const Comm& w = mpi.world();
+  const i32 me = mpi.rank(w);
+  const i32 np = static_cast<i32>(mpi.size(w));
+  std::vector<double> u(kCellsPerRank + 2, 0.0), next(kCellsPerRank + 2, 0.0);
+
+  // Initial condition: a hot spike in rank 0's first cell, fixed boundary.
+  if (me == 0) u[1] = 1000.0;
+
+  const SimTime t0 = p.now();
+  double residual = 0;
+  for (u32 it = 0; it < kIters; ++it) {
+    // Halo exchange with neighbors (blocking sendrecv avoids deadlock).
+    const i32 left = me - 1, right = me + 1;
+    if (left >= 0) {
+      mpi.sendrecv(&u[1], 1, Datatype::kDouble, left, 0, &u[0], 1,
+                   Datatype::kDouble, left, 0, w);
+    }
+    if (right < np) {
+      mpi.sendrecv(&u[kCellsPerRank], 1, Datatype::kDouble, right, 0,
+                   &u[kCellsPerRank + 1], 1, Datatype::kDouble, right, 0, w);
+    }
+    // Jacobi update.
+    double local_res = 0;
+    for (u32 i = 1; i <= kCellsPerRank; ++i) {
+      next[i] = u[i] + kAlpha * (u[i - 1] - 2 * u[i] + u[i + 1]);
+      local_res += std::fabs(next[i] - u[i]);
+    }
+    std::swap(u, next);
+    // Boundary pins (world edges stay at 0, except the source).
+    if (me == 0) u[0] = 0;
+    if (me == np - 1) u[kCellsPerRank + 1] = 0;
+
+    if (it % 50 == 49) {
+      mpi.allreduce(&local_res, &residual, 1, Datatype::kDouble, ReduceOp::kSum, w);
+    }
+  }
+  mpi.barrier(w);
+
+  double local_sum = 0;
+  for (u32 i = 1; i <= kCellsPerRank; ++i) local_sum += u[i];
+  double checksum = 0;
+  mpi.allreduce(&local_sum, &checksum, 1, Datatype::kDouble, ReduceOp::kSum, w);
+
+  RunResult r;
+  r.residual = residual;
+  r.checksum = checksum;
+  r.elapsed = p.now() - t0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("heat_stencil: 4-rank 1-D heat diffusion, %u cells/rank, %u iters\n\n",
+              kCellsPerRank, kIters);
+
+  RunResult scr, fe;
+  harness::run_scramnet_mpi(4, [&](sim::Process& p, Mpi& mpi) {
+    mpi.set_bcast_algo(CollAlgo::kNativeMcast);
+    RunResult r = solve(mpi, p);
+    if (mpi.rank(mpi.world()) == 0) scr = r;
+  });
+  harness::run_tcp_mpi(4, harness::TcpFabricKind::kFastEthernet,
+                       [&](sim::Process& p, Mpi& mpi) {
+                         RunResult r = solve(mpi, p);
+                         if (mpi.rank(mpi.world()) == 0) fe = r;
+                       });
+
+  std::printf("%-16s %14s %14s %12s\n", "network", "residual", "checksum",
+              "time (ms)");
+  std::printf("%-16s %14.6f %14.4f %12.2f\n", "SCRAMNet", scr.residual,
+              scr.checksum, to_us(scr.elapsed) / 1000.0);
+  std::printf("%-16s %14.6f %14.4f %12.2f\n", "FastEthernet", fe.residual,
+              fe.checksum, to_us(fe.elapsed) / 1000.0);
+
+  const bool same = std::fabs(scr.checksum - fe.checksum) < 1e-9;
+  const double speedup = to_us(fe.elapsed) / to_us(scr.elapsed);
+  std::printf("\nidentical numerics on both networks: %s\n", same ? "yes" : "NO");
+  std::printf("SCRAMNet speedup on this latency-bound workload: %.1fx\n", speedup);
+  std::printf("(halo cells are 8-byte messages -- exactly the regime where\n"
+              " Figure 3 shows SCRAMNet ahead of Ethernet/ATM)\n");
+  return same && speedup > 1.5 ? 0 : 1;
+}

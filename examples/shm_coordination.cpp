@@ -1,0 +1,95 @@
+// shm_coordination: the shared-memory programming model SCRAMNet shipped
+// with (paper Section 2), using the scrshm synchronization library --
+// Lamport bakery mutex, dissemination barrier and single-writer seqlock on
+// non-coherent replicated memory.
+//
+// Scenario: four stations keep a shared work ledger. Each phase, every
+// station claims work items under the mutex, the owner of the telemetry
+// record publishes it through the seqlock, and a barrier separates phases.
+#include <cstdio>
+#include <vector>
+
+#include "scramnet/ring.h"
+#include "scramnet/sim_port.h"
+#include "scrshm/barrier.h"
+#include "scrshm/mutex.h"
+#include "scrshm/seqlock.h"
+
+using namespace scrnet;
+using namespace scrnet::scrshm;
+
+namespace {
+
+constexpr u32 kStations = 4;
+constexpr u32 kPhases = 6;
+constexpr u32 kItemsPerPhase = 20;
+
+// Shared-ledger layout: each station owns one "claimed count" word
+// (single-writer), and the next-item cursor is guarded by the mutex.
+// The cursor itself must also be single-writer... on SCRAMNet one gives
+// the mutex holder temporary write ownership: only the holder writes it,
+// which the lock guarantees.
+constexpr u32 kCursorAddr = 512;
+constexpr u32 kClaimBase = 513;  // + station
+
+}  // namespace
+
+int main() {
+  std::printf("shm_coordination: %u stations, %u phases, %u items/phase\n\n",
+              kStations, kPhases, kItemsPerPhase);
+  sim::Simulation sim;
+  scramnet::RingConfig rcfg;
+  rcfg.nodes = kStations;
+  scramnet::Ring ring(sim, rcfg);
+
+  std::vector<u32> claimed(kStations, 0);
+  u32 telemetry_versions_seen = 0;
+  bool consistent = true;
+
+  for (u32 id = 0; id < kStations; ++id) {
+    sim.spawn("station" + std::to_string(id), [&, id](sim::Process& p) {
+      scramnet::SimHostPort port(ring, id, p);
+      Arena arena(0, 512);
+      BakeryMutex mu(port, arena, kStations, id);
+      DisseminationBarrier bar(port, arena, kStations, id);
+      SeqLock telemetry(port, arena, 4, /*writer=*/0);
+
+      for (u32 phase = 0; phase < kPhases; ++phase) {
+        // Claim items until the phase's quota is gone.
+        for (;;) {
+          BakeryMutex::Guard g(mu);
+          const u32 cursor = port.read_u32(kCursorAddr);
+          if (cursor >= (phase + 1) * kItemsPerPhase) break;
+          port.write_u32(kCursorAddr, cursor + 1);
+          // "Work" on the item outside the ledger words.
+          ++claimed[id];
+          port.write_u32(kClaimBase + id, claimed[id]);
+        }
+        // Station 0 publishes a telemetry record for the phase.
+        if (id == 0) {
+          const u32 rec[4] = {phase, claimed[0], p.now() > 0 ? 1u : 0u, 0xFEEDu};
+          telemetry.publish(rec);
+        } else {
+          u32 rec[4];
+          if (telemetry.snapshot(rec) > 0) {
+            if (rec[3] != 0xFEEDu) consistent = false;
+            ++telemetry_versions_seen;
+          }
+        }
+        bar.wait();  // phase boundary
+      }
+    });
+  }
+  sim.run();
+
+  u32 total = 0;
+  for (u32 id = 0; id < kStations; ++id) {
+    std::printf("station %u claimed %u items\n", id, claimed[id]);
+    total += claimed[id];
+  }
+  std::printf("total claimed: %u (expected %u, no double-claims under the "
+              "bakery lock)\n", total, kPhases * kItemsPerPhase);
+  std::printf("telemetry snapshots read: %u, all internally consistent: %s\n",
+              telemetry_versions_seen, consistent ? "yes" : "NO");
+  return (total == kPhases * kItemsPerPhase && consistent) ? 0 : 1;
+}

@@ -1,0 +1,347 @@
+#include "bbp/endpoint.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "common/bytes.h"
+
+namespace scrnet::bbp {
+
+namespace {
+/// Wrap-aware sequence comparison (u32 sequence space).
+inline bool seq_less(u32 a, u32 b) { return static_cast<i32>(a - b) < 0; }
+}  // namespace
+
+Endpoint::Endpoint(scramnet::MemPort& port, u32 procs, u32 me, Config cfg)
+    : port_(port), layout_(port.bank_words(), procs, cfg.slots), cfg_(cfg), me_(me) {
+  if (me >= procs) throw std::invalid_argument("bbp: rank out of range");
+  slot_.resize(cfg_.slots);
+  sent_flag_mirror_.assign(procs, 0);
+  ack_base_.assign(procs, 0);
+  ack_out_mirror_.assign(procs, 0);
+  seen_msg_.assign(procs, 0);
+  inq_.resize(procs);
+  head_ = tail_ = layout_.data_base(me_);
+  if (cfg_.recv_mode == RecvMode::kInterrupt && port_.supports_wait_write()) {
+    mode_ = RecvMode::kInterrupt;
+    // Any network write into my control partition (MESSAGE flags, ACK
+    // flags) must wake me; descriptors of *other* processes live in their
+    // regions and never interrupt here.
+    port_.watch_range(layout_.region_base(me_),
+                      layout_.region_base(me_) + layout_.control_words());
+  }
+}
+
+void Endpoint::blocked_wait() {
+  if (mode_ == RecvMode::kInterrupt) {
+    port_.wait_write();
+  } else {
+    port_.poll_pause();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Send side
+// ---------------------------------------------------------------------------
+
+Result<u32> Endpoint::alloc_slot(u32 len_bytes, bool block) {
+  const u32 words = words_for_bytes(len_bytes);
+  const u32 base = layout_.data_base(me_);
+  const u32 end = data_end();
+
+  auto try_space = [&]() -> std::optional<u32> {
+    if (words == 0) return head_;
+    if (data_empty_) {
+      head_ = tail_ = base;  // normalize when idle
+      if (words <= layout_.data_words) return head_;
+      return std::nullopt;
+    }
+    if (head_ >= tail_) {
+      if (words <= end - head_) return head_;
+      if (words < tail_ - base) return base;  // wrap (strict: keep head!=tail)
+      return std::nullopt;
+    }
+    if (words < tail_ - head_) return head_;  // strict: full != empty
+    return std::nullopt;
+  };
+
+  bool stalled = false;
+  for (;;) {
+    if (live_.size() < cfg_.slots) {
+      if (auto off = try_space()) {
+        // Find a free slot id (one must exist: live_.size() < slots).
+        u32 id = 0;
+        while (slot_[id].in_use) ++id;
+        if (words > 0) {
+          if (*off == base && head_ >= tail_ && !data_empty_) head_ = base;  // committed wrap
+          head_ = *off + words;
+        }
+        data_empty_ = false;
+        if (words == 0 && live_.empty()) data_empty_ = true;  // no space consumed
+        return id;
+      }
+    }
+    collect_garbage();
+    // Retry immediately after GC before deciding to stall.
+    if (live_.size() < cfg_.slots) {
+      if (auto off = try_space()) {
+        u32 id = 0;
+        while (slot_[id].in_use) ++id;
+        if (words > 0) head_ = *off + words;
+        data_empty_ = false;
+        if (words == 0 && live_.empty()) data_empty_ = true;
+        return id;
+      }
+    }
+    if (!block) return Status::NoSpace("billboard full");
+    if (!stalled) {
+      ++stats_.send_stalls;
+      stalled = true;
+    }
+    blocked_wait();
+  }
+}
+
+void Endpoint::collect_garbage() {
+  ++stats_.gc_runs;
+  u32 interested = 0;
+  for (u32 id : live_) interested |= slot_[id].pending;
+  for (u32 r = 0; r < layout_.procs; ++r) {
+    if (!((interested >> r) & 1u)) continue;
+    port_.cpu_delay(cfg_.cpu.gc_cpu);
+    const u32 cur = port_.read_u32(layout_.ack_flag_addr(me_, r));
+    const u32 changed = cur ^ ack_base_[r];
+    if (!changed) continue;
+    for (u32 b = 0; b < cfg_.slots; ++b) {
+      if (!((changed >> b) & 1u)) continue;
+      Slot& s = slot_[b];
+      if (s.in_use && ((s.pending >> r) & 1u)) {
+        s.pending &= ~(1u << r);
+        ack_base_[r] ^= (1u << b);
+      }
+      // A toggled bit for a slot we are not waiting on would be a protocol
+      // violation (receiver acked a slot never sent to it); surface loudly.
+      else {
+        assert(false && "bbp: unexpected ACK toggle");
+      }
+    }
+  }
+  // Reclaim completed slots in FIFO order; the circular allocator frees
+  // space only from the tail, mirroring the paper's on-demand GC.
+  while (!live_.empty() && slot_[live_.front()].pending == 0) {
+    const u32 id = live_.front();
+    live_.pop_front();
+    slot_[id].in_use = false;
+    ++stats_.slots_reclaimed;
+    if (live_.empty()) {
+      data_empty_ = true;
+      head_ = tail_ = layout_.data_base(me_);
+    } else {
+      tail_ = slot_[live_.front()].offset_words;
+    }
+  }
+}
+
+Status Endpoint::post(u32 dest_mask, std::span<const u8> payload, bool block) {
+  if (dest_mask == 0) return Status::InvalidArg("bbp: empty destination set");
+  if (dest_mask >> layout_.procs) return Status::InvalidArg("bbp: destination out of range");
+  if (payload.size() > layout_.max_message_bytes())
+    return Status::InvalidArg("bbp: message exceeds data partition");
+  const u32 len_bytes = static_cast<u32>(payload.size());
+
+  port_.cpu_delay(cfg_.cpu.send_setup);
+  Result<u32> slot_id = alloc_slot(len_bytes, block);
+  if (!slot_id.ok()) return slot_id.status();
+  const u32 id = slot_id.value();
+
+  Slot& s = slot_[id];
+  s.in_use = true;
+  s.seq = seq_next_++;
+  s.len_bytes = len_bytes;
+  s.pending = dest_mask;
+  s.offset_words = (len_bytes == 0) ? head_ : head_ - words_for_bytes(len_bytes);
+  live_.push_back(id);
+
+  // 1. payload into the billboard (zero-copy from the user buffer);
+  if (len_bytes > 0) {
+    const std::vector<u32> words = pack_words(payload);
+    if (len_bytes >= cfg_.dma_threshold_bytes && port_.has_dma()) {
+      port_.dma_write(s.offset_words, words);
+      ++stats_.dma_sends;
+    } else {
+      port_.write_block(s.offset_words, words);
+    }
+  }
+  // 2. descriptor;
+  const u32 desc[3] = {s.seq, s.offset_words, s.len_bytes};
+  port_.write_block(layout_.desc_addr(me_, id), desc);
+  // 3. toggle the MESSAGE bit at every destination (single-step multicast).
+  u32 ndest = 0;
+  for (u32 r = 0; r < layout_.procs; ++r) {
+    if (!((dest_mask >> r) & 1u)) continue;
+    port_.cpu_delay(cfg_.cpu.send_per_dest);
+    sent_flag_mirror_[r] ^= (1u << id);
+    port_.write_u32(layout_.msg_flag_addr(r, me_), sent_flag_mirror_[r]);
+    ++ndest;
+  }
+  if (ndest > 1)
+    ++stats_.mcasts;
+  else
+    ++stats_.sends;
+  return Status::Ok();
+}
+
+Status Endpoint::send(u32 dest, std::span<const u8> payload) {
+  if (dest >= layout_.procs) return Status::InvalidArg("bbp: bad dest");
+  return post(1u << dest, payload, /*block=*/true);
+}
+
+Status Endpoint::try_send(u32 dest, std::span<const u8> payload) {
+  if (dest >= layout_.procs) return Status::InvalidArg("bbp: bad dest");
+  return post(1u << dest, payload, /*block=*/false);
+}
+
+Status Endpoint::mcast(std::span<const u32> dests, std::span<const u8> payload) {
+  u32 mask = 0;
+  for (u32 d : dests) {
+    if (d >= layout_.procs) return Status::InvalidArg("bbp: bad dest");
+    mask |= 1u << d;
+  }
+  return post(mask, payload, /*block=*/true);
+}
+
+Status Endpoint::try_mcast(std::span<const u32> dests, std::span<const u8> payload) {
+  u32 mask = 0;
+  for (u32 d : dests) {
+    if (d >= layout_.procs) return Status::InvalidArg("bbp: bad dest");
+    mask |= 1u << d;
+  }
+  return post(mask, payload, /*block=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Receive side
+// ---------------------------------------------------------------------------
+
+bool Endpoint::poll_sender(u32 s) {
+  ++stats_.polls;
+  const u32 cur = port_.read_u32(layout_.msg_flag_addr(me_, s));
+  u32 changed = cur ^ seen_msg_[s];
+  if (!changed) return false;
+  while (changed) {
+    const u32 b = static_cast<u32>(std::countr_zero(changed));
+    changed &= changed - 1;
+    port_.cpu_delay(cfg_.cpu.recv_detect);
+    u32 desc[3] = {0, 0, 0};
+    port_.read_block(layout_.desc_addr(s, b), desc);
+    Incoming in{s, b, desc[0], desc[1], desc[2]};
+    // In-order delivery: insert by sender sequence number (bits can be
+    // discovered out of slot order after wrap-around).
+    auto& q = inq_[s];
+    auto it = q.end();
+    while (it != q.begin() && seq_less(in.seq, std::prev(it)->seq)) --it;
+    q.insert(it, in);
+    seen_msg_[s] ^= (1u << b);
+  }
+  return true;
+}
+
+bool Endpoint::poll_all() {
+  bool any = false;
+  for (u32 s = 0; s < layout_.procs; ++s) any = poll_sender(s) || any;
+  return any;
+}
+
+Result<RecvInfo> Endpoint::deliver(Incoming msg, std::span<u8> buf) {
+  RecvInfo info;
+  info.src = msg.src;
+  info.len = msg.len_bytes;
+  info.copied = static_cast<u32>(
+      std::min<usize>(msg.len_bytes, buf.size()));
+  info.truncated = info.copied < msg.len_bytes;
+
+  if (info.copied > 0) {
+    std::vector<u32> words(words_for_bytes(info.copied));
+    port_.read_block(msg.offset_words, words);
+    unpack_into(words, buf, info.copied);
+  }
+  port_.cpu_delay(cfg_.cpu.recv_deliver);
+
+  // Acknowledge: toggle my bit for this slot in the sender's partition.
+  ack_out_mirror_[msg.src] ^= (1u << msg.slot);
+  port_.write_u32(layout_.ack_flag_addr(msg.src, me_), ack_out_mirror_[msg.src]);
+  ++stats_.recvs;
+  return info;
+}
+
+Result<RecvInfo> Endpoint::recv(u32 src, std::span<u8> buf) {
+  if (src >= layout_.procs) return Status::InvalidArg("bbp: bad src");
+  while (inq_[src].empty()) {
+    if (!poll_sender(src)) blocked_wait();
+  }
+  Incoming msg = inq_[src].front();
+  inq_[src].pop_front();
+  return deliver(msg, buf);
+}
+
+Result<RecvInfo> Endpoint::recv_any(std::span<u8> buf) {
+  for (;;) {
+    for (u32 i = 0; i < layout_.procs; ++i) {
+      const u32 s = (rr_next_ + i) % layout_.procs;
+      if (!inq_[s].empty()) {
+        rr_next_ = (s + 1) % layout_.procs;
+        Incoming msg = inq_[s].front();
+        inq_[s].pop_front();
+        return deliver(msg, buf);
+      }
+    }
+    if (!poll_all()) blocked_wait();
+  }
+}
+
+std::optional<u32> Endpoint::msg_avail() {
+  port_.cpu_delay(cfg_.cpu.msg_avail);
+  for (u32 i = 0; i < layout_.procs; ++i) {
+    const u32 s = (rr_next_ + i) % layout_.procs;
+    if (!inq_[s].empty()) return s;
+  }
+  // Poll flag words round-robin and stop at the first sender with news --
+  // an avail check does not need to sweep every sender.
+  for (u32 i = 0; i < layout_.procs; ++i) {
+    const u32 s = (rr_next_ + i) % layout_.procs;
+    if (poll_sender(s) && !inq_[s].empty()) return s;
+  }
+  return std::nullopt;
+}
+
+bool Endpoint::msg_avail_from(u32 src) {
+  if (src >= layout_.procs) return false;
+  port_.cpu_delay(cfg_.cpu.msg_avail);
+  if (!inq_[src].empty()) return true;
+  poll_sender(src);
+  return !inq_[src].empty();
+}
+
+std::optional<u32> Endpoint::peek_len(u32 src) {
+  if (src >= layout_.procs) return std::nullopt;
+  if (inq_[src].empty()) poll_sender(src);
+  if (inq_[src].empty()) return std::nullopt;
+  return inq_[src].front().len_bytes;
+}
+
+void Endpoint::drain() {
+  while (inflight() > 0) {
+    collect_garbage();
+    if (inflight() > 0) blocked_wait();
+  }
+}
+
+u32 Endpoint::inflight() const {
+  u32 n = 0;
+  for (const Slot& s : slot_)
+    if (s.in_use) ++n;
+  return n;
+}
+
+}  // namespace scrnet::bbp

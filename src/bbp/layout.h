@@ -1,0 +1,76 @@
+// BillBoard Protocol memory layout (Section 3 of the paper).
+//
+// The replicated SCRAMNet memory is divided equally among the P
+// participating processes. Process i's region holds:
+//
+//   * a control partition:
+//       - MESSAGE flag words, one per potential *sender* s: written only by
+//         s; bit b toggles when s posts a message in its slot b for me;
+//       - ACK flag words, one per potential *receiver* r: written only by
+//         r; bit b toggles when r has consumed my slot b;
+//       - buffer descriptors, one per slot, written only by the owner:
+//         {seq, data offset, length in bytes};
+//   * a data partition: the billboard itself, where message payloads are
+//     posted and read directly by any receiver (zero copy at the sender).
+//
+// Every word has exactly one writer, which is what makes the protocol
+// lock-free on non-coherent memory.
+#pragma once
+
+#include <stdexcept>
+
+#include "common/types.h"
+
+namespace scrnet::bbp {
+
+/// Words per buffer descriptor: [seq, offset(words, absolute), len(bytes)] +
+/// one reserved word keeping descriptors 16-byte aligned.
+inline constexpr u32 kDescWords = 4;
+
+/// Maximum processes: MESSAGE/ACK words are per process pair, but the slot
+/// bitmask and destination masks are 32-bit.
+inline constexpr u32 kMaxProcs = 32;
+inline constexpr u32 kMaxSlots = 32;
+
+struct Layout {
+  u32 procs = 0;        // P
+  u32 slots = 0;        // buffer slots per process (<= 32, one flag bit each)
+  u32 region_words = 0; // bank_words / P
+  u32 data_words = 0;   // payload capacity per process
+
+  Layout() = default;
+  Layout(u32 bank_words, u32 procs_, u32 slots_) : procs(procs_), slots(slots_) {
+    if (procs < 2 || procs > kMaxProcs) throw std::invalid_argument("bbp: procs out of range");
+    if (slots < 1 || slots > kMaxSlots) throw std::invalid_argument("bbp: slots out of range");
+    region_words = bank_words / procs;
+    const u32 control = control_words();
+    if (region_words <= control + 16)
+      throw std::invalid_argument("bbp: bank too small for layout");
+    data_words = region_words - control;
+  }
+
+  /// Control partition size in words.
+  u32 control_words() const { return 2 * procs + slots * kDescWords; }
+
+  /// Base of process p's region.
+  u32 region_base(u32 p) const { return p * region_words; }
+
+  /// MESSAGE flag word in receiver r's region, written by sender s.
+  u32 msg_flag_addr(u32 r, u32 s) const { return region_base(r) + s; }
+
+  /// ACK flag word in sender s's region, written by receiver r.
+  u32 ack_flag_addr(u32 s, u32 r) const { return region_base(s) + procs + r; }
+
+  /// Descriptor for slot `b` of process p.
+  u32 desc_addr(u32 p, u32 b) const {
+    return region_base(p) + 2 * procs + b * kDescWords;
+  }
+
+  /// Data partition of process p: [data_base, data_base + data_words).
+  u32 data_base(u32 p) const { return region_base(p) + control_words(); }
+
+  /// Largest single message in bytes.
+  u32 max_message_bytes() const { return data_words * 4; }
+};
+
+}  // namespace scrnet::bbp

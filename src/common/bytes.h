@@ -1,0 +1,56 @@
+// Byte/word packing helpers shared by BBP and the network models.
+//
+// The BillBoard Protocol moves user bytes through 32-bit SCRAMNet words;
+// these helpers centralise the (endian-fixed, word-padded) conversion.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace scrnet {
+
+/// Pack an arbitrary byte span into little-endian 32-bit words, zero-padding
+/// the final partial word.
+inline std::vector<u32> pack_words(std::span<const u8> bytes) {
+  std::vector<u32> out(words_for_bytes(static_cast<u32>(bytes.size())), 0u);
+  if (!bytes.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+/// Unpack `nbytes` bytes out of a word span (inverse of pack_words).
+inline std::vector<u8> unpack_bytes(std::span<const u32> words, usize nbytes) {
+  std::vector<u8> out(nbytes);
+  if (nbytes) std::memcpy(out.data(), words.data(), nbytes);
+  return out;
+}
+
+/// Copy bytes out of a word span into a caller buffer; returns bytes copied.
+inline usize unpack_into(std::span<const u32> words, std::span<u8> dst, usize nbytes) {
+  const usize n = nbytes < dst.size() ? nbytes : dst.size();
+  if (n) std::memcpy(dst.data(), words.data(), n);
+  return n;
+}
+
+/// Fill a byte buffer with a deterministic pattern (for tests/benches).
+inline void fill_pattern(std::span<u8> buf, u32 seed) {
+  u32 x = seed * 2654435761u + 12345u;
+  for (auto& b : buf) {
+    x = x * 1664525u + 1013904223u;
+    b = static_cast<u8>(x >> 24);
+  }
+}
+
+/// Verify a buffer against fill_pattern(seed); returns true if identical.
+inline bool check_pattern(std::span<const u8> buf, u32 seed) {
+  u32 x = seed * 2654435761u + 12345u;
+  for (u8 b : buf) {
+    x = x * 1664525u + 1013904223u;
+    if (b != static_cast<u8>(x >> 24)) return false;
+  }
+  return true;
+}
+
+}  // namespace scrnet

@@ -1,0 +1,106 @@
+// Minimal ASCII line-chart renderer: the bench binaries use it to draw the
+// paper's figures (latency vs message size) directly in the terminal, one
+// glyph per series, with linear or log2 x axes.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace scrnet {
+
+class AsciiChart {
+ public:
+  AsciiChart(std::string title, std::string x_label, std::string y_label,
+             usize width = 68, usize height = 20)
+      : title_(std::move(title)), x_label_(std::move(x_label)),
+        y_label_(std::move(y_label)), width_(width), height_(height) {}
+
+  /// Add a series; `glyph` is its plot marker.
+  void add_series(std::string name, char glyph, std::vector<double> xs,
+                  std::vector<double> ys) {
+    series_.push_back({std::move(name), glyph, std::move(xs), std::move(ys)});
+  }
+
+  void print(std::ostream& os) const {
+    if (series_.empty()) return;
+    double xmin = 1e300, xmax = -1e300, ymin = 0.0, ymax = -1e300;
+    for (const auto& s : series_) {
+      for (double x : s.xs) {
+        xmin = std::min(xmin, x);
+        xmax = std::max(xmax, x);
+      }
+      for (double y : s.ys) ymax = std::max(ymax, y);
+    }
+    if (xmax <= xmin) xmax = xmin + 1;
+    if (ymax <= ymin) ymax = ymin + 1;
+
+    std::vector<std::string> grid(height_, std::string(width_, ' '));
+    for (const auto& s : series_) {
+      for (usize i = 0; i < s.xs.size(); ++i) {
+        const usize cx = col_of(s.xs[i], xmin, xmax);
+        const usize cy = row_of(s.ys[i], ymin, ymax);
+        plot(grid, cx, cy, s.glyph);
+        if (i + 1 < s.xs.size()) {
+          // Sparse interpolation so the eye can follow the line.
+          for (int step = 1; step < 4; ++step) {
+            const double f = step / 4.0;
+            const double xi = s.xs[i] * (1 - f) + s.xs[i + 1] * f;
+            const double yi = s.ys[i] * (1 - f) + s.ys[i + 1] * f;
+            plot(grid, col_of(xi, xmin, xmax), row_of(yi, ymin, ymax), '.');
+          }
+        }
+      }
+    }
+
+    os << "\n  " << title_ << "\n";
+    for (usize r = 0; r < height_; ++r) {
+      const double yval = ymax - (ymax - ymin) * static_cast<double>(r) /
+                                     static_cast<double>(height_ - 1);
+      char label[16];
+      std::snprintf(label, sizeof label, "%8.1f", yval);
+      os << label << " |" << grid[r] << "\n";
+    }
+    os << "         +" << std::string(width_, '-') << "\n";
+    char lo[16], hi[16];
+    std::snprintf(lo, sizeof lo, "%.0f", xmin);
+    std::snprintf(hi, sizeof hi, "%.0f", xmax);
+    os << "          " << lo << std::string(width_ > 24 ? width_ - 10 : 1, ' ')
+       << hi << "  (" << x_label_ << ")\n  " << y_label_ << ";  ";
+    for (const auto& s : series_) os << s.glyph << " = " << s.name << "   ";
+    os << "\n";
+  }
+
+ private:
+  struct S {
+    std::string name;
+    char glyph;
+    std::vector<double> xs, ys;
+  };
+
+  usize col_of(double x, double xmin, double xmax) const {
+    const double f = (x - xmin) / (xmax - xmin);
+    return static_cast<usize>(std::lround(f * static_cast<double>(width_ - 1)));
+  }
+  usize row_of(double y, double ymin, double ymax) const {
+    const double f = (y - ymin) / (ymax - ymin);
+    return height_ - 1 -
+           static_cast<usize>(std::lround(f * static_cast<double>(height_ - 1)));
+  }
+  static void plot(std::vector<std::string>& grid, usize cx, usize cy, char g) {
+    if (cy < grid.size() && cx < grid[cy].size()) {
+      char& cell = grid[cy][static_cast<usize>(cx)];
+      if (cell == ' ' || cell == '.' || g != '.') cell = g;
+    }
+  }
+
+  std::string title_, x_label_, y_label_;
+  usize width_, height_;
+  std::vector<S> series_;
+};
+
+}  // namespace scrnet

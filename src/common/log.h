@@ -1,0 +1,94 @@
+// Minimal leveled logging with virtual-time-aware prefixes.
+//
+// Logging is off by default (benchmarks must not pay for it); tests and
+// examples can raise the level. Thread safety: a single global mutex --
+// logging is never on a measured path.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+#include "common/units.h"
+
+namespace scrnet {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger g;
+    return g;
+  }
+
+  void set_level(LogLevel lvl) { level_ = lvl; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel lvl) const { return lvl >= level_; }
+
+  /// Optional hook supplying the current virtual time for prefixes.
+  void set_clock(std::function<SimTime()> clock) {
+    std::lock_guard<std::mutex> lk(mu_);
+    clock_ = std::move(clock);
+  }
+  void clear_clock() { set_clock(nullptr); }
+
+  void write(LogLevel lvl, std::string_view tag, const std::string& msg) {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::ostream& os = std::cerr;
+    os << '[' << level_name(lvl) << ']';
+    if (clock_) os << " t=" << to_us(clock_()) << "us";
+    if (!tag.empty()) os << " (" << tag << ')';
+    os << ' ' << msg << '\n';
+  }
+
+ private:
+  static const char* level_name(LogLevel lvl) {
+    switch (lvl) {
+      case LogLevel::kTrace: return "TRACE";
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO ";
+      case LogLevel::kWarn: return "WARN ";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff: return "OFF  ";
+    }
+    return "?";
+  }
+
+  LogLevel level_ = LogLevel::kOff;
+  std::mutex mu_;
+  std::function<SimTime()> clock_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel lvl, std::string_view tag) : lvl_(lvl), tag_(tag) {}
+  ~LogLine() { Logger::instance().write(lvl_, tag_, ss_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::string_view tag_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+}  // namespace scrnet
+
+#define SCRNET_LOG(lvl, tag)                                 \
+  if (!::scrnet::Logger::instance().enabled(lvl)) {          \
+  } else                                                     \
+    ::scrnet::detail::LogLine(lvl, tag)
+
+#define SCRNET_TRACE(tag) SCRNET_LOG(::scrnet::LogLevel::kTrace, tag)
+#define SCRNET_DEBUG(tag) SCRNET_LOG(::scrnet::LogLevel::kDebug, tag)
+#define SCRNET_INFO(tag) SCRNET_LOG(::scrnet::LogLevel::kInfo, tag)
+#define SCRNET_WARN(tag) SCRNET_LOG(::scrnet::LogLevel::kWarn, tag)
+#define SCRNET_ERROR(tag) SCRNET_LOG(::scrnet::LogLevel::kError, tag)

@@ -1,0 +1,84 @@
+// Streaming statistics helpers for benchmark harnesses and device models.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/types.h"
+
+namespace scrnet {
+
+/// Welford streaming mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  u64 count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  u64 n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample reservoir with exact percentiles (benchmarks collect few samples).
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  usize size() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+
+  double percentile(double p) const {
+    if (xs_.empty()) return 0.0;
+    std::vector<double> v = xs_;
+    std::sort(v.begin(), v.end());
+    const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+    const usize lo = static_cast<usize>(rank);
+    const usize hi = std::min(lo + 1, v.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return v[lo] * (1.0 - frac) + v[hi] * frac;
+  }
+  double median() const { return percentile(50.0); }
+  double min() const { return percentile(0.0); }
+  double max() const { return percentile(100.0); }
+  double mean() const {
+    if (xs_.empty()) return 0.0;
+    double s = 0;
+    for (double x : xs_) s += x;
+    return s / static_cast<double>(xs_.size());
+  }
+
+ private:
+  std::vector<double> xs_;
+};
+
+/// Simple monotonically-named counter set used by device models.
+class Counter {
+ public:
+  void inc(u64 by = 1) { v_ += by; }
+  u64 get() const { return v_; }
+  void reset() { v_ = 0; }
+
+ private:
+  u64 v_ = 0;
+};
+
+}  // namespace scrnet

@@ -1,0 +1,31 @@
+// Fundamental fixed-width aliases and small helpers used across the project.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scrnet {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using usize = std::size_t;
+
+/// Number of 32-bit words needed to hold `bytes` bytes.
+constexpr u32 words_for_bytes(u32 bytes) { return (bytes + 3u) / 4u; }
+
+/// Round `v` up to the next multiple of `align` (align must be a power of 2).
+constexpr u32 align_up(u32 v, u32 align) { return (v + align - 1u) & ~(align - 1u); }
+
+/// Integer ceiling division.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  return (a + b - static_cast<T>(1)) / b;
+}
+
+}  // namespace scrnet

@@ -1,0 +1,44 @@
+// Virtual-time units.
+//
+// All simulated time is carried as integral picoseconds (SimTime) so that
+// bandwidth arithmetic (bytes / rate) never accumulates floating point
+// error and event ordering is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace scrnet {
+
+/// Virtual time in picoseconds.
+using SimTime = std::int64_t;
+
+constexpr SimTime kPicosecond = 1;
+constexpr SimTime kNanosecond = 1'000;
+constexpr SimTime kMicrosecond = 1'000'000;
+constexpr SimTime kMillisecond = 1'000'000'000;
+constexpr SimTime kSecond = 1'000'000'000'000;
+
+constexpr SimTime ps(i64 v) { return v; }
+constexpr SimTime ns(i64 v) { return v * kNanosecond; }
+constexpr SimTime us(i64 v) { return v * kMicrosecond; }
+constexpr SimTime ms(i64 v) { return v * kMillisecond; }
+
+/// Convert to double microseconds for reporting.
+constexpr double to_us(SimTime t) { return static_cast<double>(t) / static_cast<double>(kMicrosecond); }
+constexpr double to_ns(SimTime t) { return static_cast<double>(t) / static_cast<double>(kNanosecond); }
+
+/// Time to move `bytes` at `mbytes_per_s` (10^6 bytes per second, as used in
+/// the SCRAMNet data sheets cited by the paper).
+constexpr SimTime transfer_time(u64 bytes, double mbytes_per_s) {
+  // ps = bytes / (MB/s * 1e6 B/s) * 1e12 ps/s = bytes * 1e6 / (MB/s)
+  return static_cast<SimTime>(static_cast<double>(bytes) * 1e6 / mbytes_per_s);
+}
+
+/// Time to move `bits` at `mbits_per_s`.
+constexpr SimTime wire_time_bits(u64 bits, double mbits_per_s) {
+  return static_cast<SimTime>(static_cast<double>(bits) * 1e6 / mbits_per_s);
+}
+
+}  // namespace scrnet

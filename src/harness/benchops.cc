@@ -1,0 +1,324 @@
+#include "harness/benchops.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bytes.h"
+
+namespace scrnet::harness {
+
+namespace {
+
+/// Shared measurement state for one bench run.
+struct PingPongClock {
+  SimTime t_start = 0;
+  SimTime t_end = 0;
+  double oneway_us(u32 iters) const {
+    return to_us(t_end - t_start) / (2.0 * iters);
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// One-way latency: ping-pong
+// ---------------------------------------------------------------------------
+
+double bbp_oneway_us(u32 bytes, u32 nodes, u32 iters, u32 warmup,
+                     ScramnetOptions opts) {
+  PingPongClock clk;
+  run_scramnet_bbp(
+      nodes,
+      [&](sim::Process& p, bbp::Endpoint& ep) {
+        if (ep.rank() > 1) return;  // paper: measurement between two nodes
+        std::vector<u8> msg(bytes), buf(std::max<u32>(bytes, 4));
+        fill_pattern(msg, 1);
+        const u32 peer = 1 - ep.rank();
+        for (u32 i = 0; i < warmup + iters; ++i) {
+          if (ep.rank() == 0) {
+            if (i == warmup) clk.t_start = p.now();
+            (void)ep.send(peer, msg);
+            (void)ep.recv(peer, buf);
+            if (i == warmup + iters - 1) clk.t_end = p.now();
+          } else {
+            (void)ep.recv(peer, buf);
+            (void)ep.send(peer, msg);
+          }
+        }
+        ep.drain();
+      },
+      opts);
+  return clk.oneway_us(iters);
+}
+
+namespace {
+double mpi_pingpong(const std::function<SimTime(
+                        const std::function<void(sim::Process&, scrmpi::Mpi&)>&)>& run,
+                    u32 bytes, u32 iters, u32 warmup) {
+  PingPongClock clk;
+  run([&](sim::Process& p, scrmpi::Mpi& mpi) {
+    const scrmpi::Comm& w = mpi.world();
+    const i32 me = mpi.rank(w);
+    if (me > 1) return;
+    std::vector<u8> msg(std::max<u32>(bytes, 1)), buf(std::max<u32>(bytes, 1));
+    const i32 peer = 1 - me;
+    for (u32 i = 0; i < warmup + iters; ++i) {
+      if (me == 0) {
+        if (i == warmup) clk.t_start = p.now();
+        mpi.send(msg.data(), bytes, scrmpi::Datatype::kByte, peer, 0, w);
+        mpi.recv(buf.data(), bytes, scrmpi::Datatype::kByte, peer, 0, w);
+        if (i == warmup + iters - 1) clk.t_end = p.now();
+      } else {
+        mpi.recv(buf.data(), bytes, scrmpi::Datatype::kByte, peer, 0, w);
+        mpi.send(msg.data(), bytes, scrmpi::Datatype::kByte, peer, 0, w);
+      }
+    }
+  });
+  return clk.oneway_us(iters);
+}
+}  // namespace
+
+double mpi_scramnet_oneway_us(u32 bytes, u32 nodes, u32 iters, u32 warmup,
+                              ScramnetOptions opts) {
+  return mpi_pingpong(
+      [&](const std::function<void(sim::Process&, scrmpi::Mpi&)>& body) {
+        return run_scramnet_mpi(nodes, body, opts);
+      },
+      bytes, iters, warmup);
+}
+
+double mpi_tcp_oneway_us(TcpFabricKind kind, u32 bytes, u32 iters, u32 warmup,
+                         TcpOptions opts) {
+  return mpi_pingpong(
+      [&](const std::function<void(sim::Process&, scrmpi::Mpi&)>& body) {
+        return run_tcp_mpi(2, kind, body, opts);
+      },
+      bytes, iters, warmup);
+}
+
+double tcp_api_oneway_us(TcpFabricKind kind, u32 bytes, u32 iters, u32 warmup,
+                         TcpOptions opts) {
+  PingPongClock clk;
+  sim::Simulation sim;
+  auto fabric = make_fabric(sim, 2, kind, opts);
+  const netmodels::TcpConfig cfg =
+      opts.custom_stack ? opts.stack : default_stack(kind);
+  const u32 wire_bytes = std::max<u32>(bytes, 1);  // 0B -> 1 dummy byte
+  for (u32 r = 0; r < 2; ++r) {
+    sim.spawn("tcp-host" + std::to_string(r), [&, r](sim::Process& p) {
+      netmodels::TcpStack stack(*fabric, r, cfg);
+      std::vector<u8> msg(wire_bytes), buf(wire_bytes);
+      const u32 peer = 1 - r;
+      for (u32 i = 0; i < warmup + iters; ++i) {
+        if (r == 0) {
+          if (i == warmup) clk.t_start = p.now();
+          stack.send(p, peer, msg);
+          stack.recv(p, peer, buf, wire_bytes);
+          if (i == warmup + iters - 1) clk.t_end = p.now();
+        } else {
+          stack.recv(p, peer, buf, wire_bytes);
+          stack.send(p, peer, msg);
+        }
+      }
+    });
+  }
+  sim.run();
+  return clk.oneway_us(iters);
+}
+
+double myrinet_api_oneway_us(u32 bytes, u32 iters, u32 warmup) {
+  PingPongClock clk;
+  sim::Simulation sim;
+  netmodels::MyrinetFabric fabric(sim, 2);
+  for (u32 r = 0; r < 2; ++r) {
+    sim.spawn("myr-host" + std::to_string(r), [&, r](sim::Process& p) {
+      netmodels::MyrinetApi api(fabric, r);
+      std::vector<u8> msg(bytes), buf(std::max<u32>(bytes, 1));
+      const u32 peer = 1 - r;
+      for (u32 i = 0; i < warmup + iters; ++i) {
+        if (r == 0) {
+          if (i == warmup) clk.t_start = p.now();
+          api.send(p, peer, msg);
+          api.recv(p, peer, buf, bytes);
+          if (i == warmup + iters - 1) clk.t_end = p.now();
+        } else {
+          api.recv(p, peer, buf, bytes);
+          api.send(p, peer, msg);
+        }
+      }
+    });
+  }
+  sim.run();
+  return clk.oneway_us(iters);
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast latency: root send -> last receiver done
+// ---------------------------------------------------------------------------
+
+namespace {
+struct BcastClock {
+  std::vector<SimTime> root_start;
+  std::vector<SimTime> last_done;
+  explicit BcastClock(u32 rounds) : root_start(rounds, 0), last_done(rounds, 0) {}
+  double avg_us(u32 warmup) const {
+    double sum = 0;
+    for (usize i = warmup; i < root_start.size(); ++i)
+      sum += to_us(last_done[i] - root_start[i]);
+    return sum / static_cast<double>(root_start.size() - warmup);
+  }
+  void record_done(u32 round, SimTime t) {
+    last_done[round] = std::max(last_done[round], t);
+  }
+};
+}  // namespace
+
+double bbp_bcast_us(u32 bytes, u32 nodes, u32 iters, u32 warmup,
+                    ScramnetOptions opts) {
+  const u32 rounds = warmup + iters;
+  BcastClock clk(rounds);
+  run_scramnet_bbp(
+      nodes,
+      [&](sim::Process& p, bbp::Endpoint& ep) {
+        std::vector<u8> msg(bytes), buf(std::max<u32>(bytes, 4));
+        fill_pattern(msg, 2);
+        std::vector<u32> dests;
+        for (u32 r = 1; r < nodes; ++r) dests.push_back(r);
+        for (u32 i = 0; i < rounds; ++i) {
+          if (ep.rank() == 0) {
+            clk.root_start[i] = p.now();
+            (void)ep.mcast(dests, msg);
+            // Resynchronize: collect a 0-byte ack from every receiver
+            // (outside the measured interval).
+            for (u32 r = 1; r < nodes; ++r) (void)ep.recv(r, buf);
+          } else {
+            (void)ep.recv(0, buf);
+            clk.record_done(i, p.now());
+            (void)ep.send(0, {});
+          }
+        }
+        ep.drain();
+      },
+      opts);
+  return clk.avg_us(warmup);
+}
+
+namespace {
+double mpi_bcast_measure(
+    const std::function<SimTime(const std::function<void(sim::Process&, scrmpi::Mpi&)>&)>&
+        run,
+    u32 bytes, scrmpi::CollAlgo algo, u32 nodes, u32 iters, u32 warmup) {
+  const u32 rounds = warmup + iters;
+  BcastClock clk(rounds);
+  run([&](sim::Process& p, scrmpi::Mpi& mpi) {
+    mpi.set_bcast_algo(algo);
+    const scrmpi::Comm& w = mpi.world();
+    const i32 me = mpi.rank(w);
+    std::vector<u8> buf(std::max<u32>(bytes, 1));
+    u8 token = 0;
+    for (u32 i = 0; i < rounds; ++i) {
+      if (me == 0) {
+        clk.root_start[i] = p.now();
+        mpi.bcast(buf.data(), bytes, scrmpi::Datatype::kByte, 0, w);
+        for (u32 r = 1; r < nodes; ++r)
+          mpi.recv(&token, 1, scrmpi::Datatype::kByte, static_cast<i32>(r), 99, w);
+      } else {
+        mpi.bcast(buf.data(), bytes, scrmpi::Datatype::kByte, 0, w);
+        clk.record_done(i, p.now());
+        mpi.send(&token, 1, scrmpi::Datatype::kByte, 0, 99, w);
+      }
+    }
+  });
+  return clk.avg_us(warmup);
+}
+}  // namespace
+
+double mpi_scramnet_bcast_us(u32 bytes, scrmpi::CollAlgo algo, u32 nodes,
+                             u32 iters, u32 warmup, ScramnetOptions opts) {
+  return mpi_bcast_measure(
+      [&](const std::function<void(sim::Process&, scrmpi::Mpi&)>& body) {
+        return run_scramnet_mpi(nodes, body, opts);
+      },
+      bytes, algo, nodes, iters, warmup);
+}
+
+double mpi_tcp_bcast_us(TcpFabricKind kind, u32 bytes, u32 iters, u32 warmup,
+                        TcpOptions opts) {
+  return mpi_bcast_measure(
+      [&](const std::function<void(sim::Process&, scrmpi::Mpi&)>& body) {
+        return run_tcp_mpi(4, kind, body, opts);
+      },
+      bytes, scrmpi::CollAlgo::kPointToPoint, 4, iters, warmup);
+}
+
+// ---------------------------------------------------------------------------
+// Barrier latency
+// ---------------------------------------------------------------------------
+
+namespace {
+double mpi_barrier_measure(
+    const std::function<SimTime(const std::function<void(sim::Process&, scrmpi::Mpi&)>&)>&
+        run,
+    scrmpi::CollAlgo algo, u32 iters, u32 warmup) {
+  SimTime t_start = 0, t_end = 0;
+  run([&](sim::Process& p, scrmpi::Mpi& mpi) {
+    mpi.set_barrier_algo(algo);
+    const scrmpi::Comm& w = mpi.world();
+    for (u32 i = 0; i < warmup + iters; ++i) {
+      if (mpi.rank(w) == 0 && i == warmup) t_start = p.now();
+      mpi.barrier(w);
+      if (mpi.rank(w) == 0 && i == warmup + iters - 1) t_end = p.now();
+    }
+  });
+  return to_us(t_end - t_start) / iters;
+}
+}  // namespace
+
+double mpi_scramnet_barrier_us(scrmpi::CollAlgo algo, u32 nodes, u32 iters,
+                               u32 warmup, ScramnetOptions opts) {
+  return mpi_barrier_measure(
+      [&](const std::function<void(sim::Process&, scrmpi::Mpi&)>& body) {
+        return run_scramnet_mpi(nodes, body, opts);
+      },
+      algo, iters, warmup);
+}
+
+double mpi_tcp_barrier_us(TcpFabricKind kind, u32 nodes, u32 iters, u32 warmup,
+                          TcpOptions opts) {
+  return mpi_barrier_measure(
+      [&](const std::function<void(sim::Process&, scrmpi::Mpi&)>& body) {
+        return run_tcp_mpi(nodes, kind, body, opts);
+      },
+      scrmpi::CollAlgo::kPointToPoint, iters, warmup);
+}
+
+// ---------------------------------------------------------------------------
+// Throughput
+// ---------------------------------------------------------------------------
+
+double bbp_throughput_mbps(u32 bytes, u32 total_bytes, u32 nodes,
+                           ScramnetOptions opts) {
+  assert(bytes > 0);
+  const u32 msgs = total_bytes / bytes;
+  SimTime t_start = 0, t_end = 0;
+  run_scramnet_bbp(
+      nodes,
+      [&](sim::Process& p, bbp::Endpoint& ep) {
+        if (ep.rank() > 1) return;
+        if (ep.rank() == 0) {
+          std::vector<u8> msg(bytes);
+          t_start = p.now();
+          for (u32 i = 0; i < msgs; ++i) (void)ep.send(1, msg);
+          ep.drain();
+        } else {
+          std::vector<u8> buf(bytes);
+          for (u32 i = 0; i < msgs; ++i) (void)ep.recv(0, buf);
+          t_end = p.now();
+        }
+      },
+      opts);
+  const double secs = static_cast<double>(t_end - t_start) / 1e12;
+  return static_cast<double>(msgs) * bytes / 1e6 / secs;
+}
+
+}  // namespace scrnet::harness

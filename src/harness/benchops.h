@@ -1,0 +1,61 @@
+// Benchmark operations: the paper's microbenchmarks (one-way latency via
+// ping-pong, broadcast latency, barrier latency) measured in virtual time,
+// producing the series each figure plots.
+#pragma once
+
+#include <vector>
+
+#include "harness/cluster.h"
+
+namespace scrnet::harness {
+
+/// Average one-way latency (us) of `bytes`-sized messages at the BBP API
+/// level between ranks 0 and 1 of an `nodes`-node SCRAMNet cluster,
+/// measured over `iters` ping-pong round trips after `warmup` rounds.
+double bbp_oneway_us(u32 bytes, u32 nodes = 4, u32 iters = 20, u32 warmup = 4,
+                     ScramnetOptions opts = {});
+
+/// Same at the MPI layer over ch_bbp.
+double mpi_scramnet_oneway_us(u32 bytes, u32 nodes = 4, u32 iters = 20,
+                              u32 warmup = 4, ScramnetOptions opts = {});
+
+/// One-way latency (us) over a TCP/IP fabric at the sockets API level.
+double tcp_api_oneway_us(TcpFabricKind kind, u32 bytes, u32 iters = 20,
+                         u32 warmup = 4, TcpOptions opts = {});
+
+/// One-way latency (us) at the native Myrinet API level.
+double myrinet_api_oneway_us(u32 bytes, u32 iters = 20, u32 warmup = 4);
+
+/// One-way latency (us) at the MPI layer over ch_sock on a fabric.
+double mpi_tcp_oneway_us(TcpFabricKind kind, u32 bytes, u32 iters = 20,
+                         u32 warmup = 4, TcpOptions opts = {});
+
+/// BBP-level broadcast latency (us): time from the root's send until the
+/// *last* of the `nodes-1` receivers has the payload; averaged over iters
+/// (receivers ack back a 0-byte message between rounds to resynchronize).
+double bbp_bcast_us(u32 bytes, u32 nodes = 4, u32 iters = 20, u32 warmup = 4,
+                    ScramnetOptions opts = {});
+
+/// MPI_Bcast latency (us) with the given algorithm over SCRAMNet.
+double mpi_scramnet_bcast_us(u32 bytes, scrmpi::CollAlgo algo, u32 nodes = 4,
+                             u32 iters = 20, u32 warmup = 4,
+                             ScramnetOptions opts = {});
+
+/// MPI_Bcast latency (us) over a TCP fabric (always point-to-point trees).
+double mpi_tcp_bcast_us(TcpFabricKind kind, u32 bytes, u32 iters = 20,
+                        u32 warmup = 4, TcpOptions opts = {});
+
+/// MPI_Barrier latency (us) over SCRAMNet with the given algorithm.
+double mpi_scramnet_barrier_us(scrmpi::CollAlgo algo, u32 nodes = 4,
+                               u32 iters = 20, u32 warmup = 4,
+                               ScramnetOptions opts = {});
+
+/// MPI_Barrier latency (us) over a TCP fabric.
+double mpi_tcp_barrier_us(TcpFabricKind kind, u32 nodes = 4, u32 iters = 20,
+                          u32 warmup = 4, TcpOptions opts = {});
+
+/// Sustained one-way throughput (MB/s) at the BBP level for a message size.
+double bbp_throughput_mbps(u32 bytes, u32 total_bytes, u32 nodes = 4,
+                           ScramnetOptions opts = {});
+
+}  // namespace scrnet::harness

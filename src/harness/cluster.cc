@@ -1,0 +1,109 @@
+#include "harness/cluster.h"
+
+namespace scrnet::harness {
+
+SimTime run_scramnet_bbp(
+    u32 nodes, const std::function<void(sim::Process&, bbp::Endpoint&)>& body,
+    ScramnetOptions opts) {
+  sim::Simulation sim;
+  opts.ring.nodes = nodes;
+  scramnet::Ring ring(sim, opts.ring);
+  for (u32 r = 0; r < nodes; ++r) {
+    sim.spawn("bbp-rank" + std::to_string(r), [&, r](sim::Process& p) {
+      scramnet::SimHostPort port(ring, r, p, opts.host);
+      bbp::Endpoint ep(port, nodes, r, opts.bbp);
+      body(p, ep);
+    });
+  }
+  sim.run();
+  return sim.now();
+}
+
+SimTime run_scramnet_mpi(
+    u32 nodes, const std::function<void(sim::Process&, scrmpi::Mpi&)>& body,
+    ScramnetOptions opts) {
+  sim::Simulation sim;
+  opts.ring.nodes = nodes;
+  scramnet::Ring ring(sim, opts.ring);
+  for (u32 r = 0; r < nodes; ++r) {
+    sim.spawn("mpi-rank" + std::to_string(r), [&, r](sim::Process& p) {
+      scramnet::SimHostPort port(ring, r, p, opts.host);
+      bbp::Endpoint ep(port, nodes, r, opts.bbp);
+      scrmpi::BbpChannel dev(ep);
+      scrmpi::Mpi mpi(dev, opts.mpi);
+      body(p, mpi);
+    });
+  }
+  sim.run();
+  return sim.now();
+}
+
+SimTime run_hybrid_mpi(u32 nodes, TcpFabricKind bulk_kind, u32 threshold,
+                       const std::function<void(sim::Process&, scrmpi::Mpi&)>& body,
+                       ScramnetOptions sopts, TcpOptions topts) {
+  sim::Simulation sim;
+  sopts.ring.nodes = nodes;
+  scramnet::Ring ring(sim, sopts.ring);
+  auto fabric = make_fabric(sim, nodes, bulk_kind, topts);
+  const netmodels::TcpConfig stack_cfg =
+      topts.custom_stack ? topts.stack : default_stack(bulk_kind);
+  for (u32 r = 0; r < nodes; ++r) {
+    sim.spawn("hybrid-rank" + std::to_string(r), [&, r, stack_cfg](sim::Process& p) {
+      scramnet::SimHostPort port(ring, r, p, sopts.host);
+      bbp::Endpoint ep(port, nodes, r, sopts.bbp);
+      scrmpi::BbpChannel low(ep);
+      netmodels::TcpStack stack(*fabric, r, stack_cfg);
+      scrmpi::SockChannel high(stack, p, nodes);
+      scrmpi::HybridChannel dev(low, high, threshold);
+      scrmpi::Mpi mpi(dev, sopts.mpi);
+      body(p, mpi);
+    });
+  }
+  sim.run();
+  return sim.now();
+}
+
+netmodels::TcpConfig default_stack(TcpFabricKind kind) {
+  switch (kind) {
+    case TcpFabricKind::kFastEthernet: return netmodels::TcpConfig::fast_ethernet();
+    case TcpFabricKind::kAtm: return netmodels::TcpConfig::atm();
+    case TcpFabricKind::kMyrinet: return netmodels::TcpConfig::myrinet();
+  }
+  return {};
+}
+
+std::unique_ptr<netmodels::Fabric> make_fabric(sim::Simulation& sim, u32 nodes,
+                                               TcpFabricKind kind,
+                                               const TcpOptions& opts) {
+  switch (kind) {
+    case TcpFabricKind::kFastEthernet:
+      return std::make_unique<netmodels::EthernetFabric>(sim, nodes, opts.ethernet);
+    case TcpFabricKind::kAtm:
+      return std::make_unique<netmodels::AtmFabric>(sim, nodes, opts.atm);
+    case TcpFabricKind::kMyrinet:
+      return std::make_unique<netmodels::MyrinetFabric>(sim, nodes, opts.myrinet);
+  }
+  return nullptr;
+}
+
+SimTime run_tcp_mpi(u32 nodes, TcpFabricKind kind,
+                    const std::function<void(sim::Process&, scrmpi::Mpi&)>& body,
+                    TcpOptions opts) {
+  sim::Simulation sim;
+  auto fabric = make_fabric(sim, nodes, kind, opts);
+  const netmodels::TcpConfig stack_cfg =
+      opts.custom_stack ? opts.stack : default_stack(kind);
+  for (u32 r = 0; r < nodes; ++r) {
+    sim.spawn("mpi-" + to_string(kind) + "-rank" + std::to_string(r),
+              [&, r, stack_cfg](sim::Process& p) {
+                netmodels::TcpStack stack(*fabric, r, stack_cfg);
+                scrmpi::SockChannel dev(stack, p, nodes);
+                scrmpi::Mpi mpi(dev, opts.mpi);
+                body(p, mpi);
+              });
+  }
+  sim.run();
+  return sim.now();
+}
+
+}  // namespace scrnet::harness

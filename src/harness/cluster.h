@@ -1,0 +1,89 @@
+// Cluster harness: spin up an N-rank session (BBP or MPI) over any of the
+// modeled fabrics inside one deterministic simulation. Used by tests,
+// examples and every benchmark.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "bbp/endpoint.h"
+#include "netmodels/atm.h"
+#include "netmodels/ethernet.h"
+#include "netmodels/myrinet.h"
+#include "netmodels/tcp.h"
+#include "scramnet/ring.h"
+#include "scramnet/sim_port.h"
+#include "scrmpi/ch_bbp.h"
+#include "scrmpi/ch_hybrid.h"
+#include "scrmpi/ch_sock.h"
+#include "scrmpi/mpi.h"
+#include "sim/simulation.h"
+
+namespace scrnet::harness {
+
+struct ScramnetOptions {
+  scramnet::RingConfig ring;
+  scramnet::HostTimings host;
+  bbp::Config bbp;
+  scrmpi::LayerCosts mpi;
+};
+
+/// Which baseline fabric to put under TCP (Figures 2/3/5/6 comparisons).
+enum class TcpFabricKind { kFastEthernet, kAtm, kMyrinet };
+
+inline std::string to_string(TcpFabricKind k) {
+  switch (k) {
+    case TcpFabricKind::kFastEthernet: return "FastEthernet";
+    case TcpFabricKind::kAtm: return "ATM";
+    case TcpFabricKind::kMyrinet: return "Myrinet";
+  }
+  return "?";
+}
+
+struct TcpOptions {
+  netmodels::EthernetConfig ethernet;
+  netmodels::AtmConfig atm;
+  netmodels::MyrinetConfig myrinet;
+  netmodels::TcpConfig stack;   // overridden per-kind unless custom set
+  bool custom_stack = false;
+  // Per-byte channel costs are device-owned (SockChannel::pack_cost), so
+  // the same LayerCosts work across devices.
+  scrmpi::LayerCosts mpi;
+};
+
+/// Run `body` on every rank of an N-node SCRAMNet cluster at the BBP level.
+/// Returns the final virtual time (picoseconds).
+SimTime run_scramnet_bbp(
+    u32 nodes, const std::function<void(sim::Process&, bbp::Endpoint&)>& body,
+    ScramnetOptions opts = {});
+
+/// Run `body` on every rank of an N-node SCRAMNet cluster at the MPI level
+/// (ch_bbp device).
+SimTime run_scramnet_mpi(
+    u32 nodes, const std::function<void(sim::Process&, scrmpi::Mpi&)>& body,
+    ScramnetOptions opts = {});
+
+/// Run `body` on every rank of an N-node TCP/IP cluster over the given
+/// fabric at the MPI level (ch_sock device).
+SimTime run_tcp_mpi(u32 nodes, TcpFabricKind kind,
+                    const std::function<void(sim::Process&, scrmpi::Mpi&)>& body,
+                    TcpOptions opts = {});
+
+/// Run `body` on every rank of a *hybrid* cluster: every node sits on both
+/// a SCRAMNet ring (latency) and a TCP fabric (bandwidth), glued by
+/// scrmpi::HybridChannel with the given payload threshold. This is the
+/// paper's Section 7 "SCRAMNet together with Myrinet/ATM" design.
+SimTime run_hybrid_mpi(u32 nodes, TcpFabricKind bulk_kind, u32 threshold,
+                       const std::function<void(sim::Process&, scrmpi::Mpi&)>& body,
+                       ScramnetOptions sopts = {}, TcpOptions topts = {});
+
+/// Default TCP stack parameters for a fabric kind.
+netmodels::TcpConfig default_stack(TcpFabricKind kind);
+
+/// Build the fabric for a kind (caller owns it through the returned ptr).
+std::unique_ptr<netmodels::Fabric> make_fabric(sim::Simulation& sim, u32 nodes,
+                                               TcpFabricKind kind,
+                                               const TcpOptions& opts);
+
+}  // namespace scrnet::harness

@@ -1,0 +1,44 @@
+// ATM (OC-3c, 155.52 Mb/s) model with AAL5 segmentation-and-reassembly.
+//
+// A PDU is padded (payload + 8-byte AAL5 trailer, rounded up to a multiple
+// of 48) and carried in 53-byte cells. The switch is cell-cut-through: the
+// PDU is available at the receiver when its last cell lands.
+#pragma once
+
+#include "netmodels/fabric.h"
+
+namespace scrnet::netmodels {
+
+struct AtmConfig {
+  double mbits_per_s = 155.52;
+  u32 mtu = 9180;                   // classical-IP-over-ATM default MTU
+  SimTime propagation = ns(500);
+  SimTime switch_cell_latency = us(2);  // first-cell pipeline fill in switch
+};
+
+class AtmFabric final : public Fabric {
+ public:
+  AtmFabric(sim::Simulation& sim, u32 hosts, AtmConfig cfg = {})
+      : Fabric(sim, hosts), cfg_(cfg) {
+    in_busy_.assign(hosts, 0);
+    out_busy_.assign(hosts, 0);
+  }
+
+  u32 mtu_payload() const override { return cfg_.mtu; }
+  const AtmConfig& config() const { return cfg_; }
+
+  /// Number of 53-byte cells for a PDU of `payload_bytes` (AAL5).
+  static u32 cells_for(usize payload_bytes) {
+    const u64 padded = ceil_div<u64>(payload_bytes + 8, 48) * 48;
+    return static_cast<u32>(padded / 48);
+  }
+
+  void transmit(Frame f) override;
+
+ private:
+  AtmConfig cfg_;
+  std::vector<SimTime> in_busy_;
+  std::vector<SimTime> out_busy_;
+};
+
+}  // namespace scrnet::netmodels

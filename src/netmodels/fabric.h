@@ -1,0 +1,68 @@
+// Baseline cluster fabrics (Fast Ethernet / ATM / Myrinet) -- the networks
+// the paper compares SCRAMNet against in Figures 2, 3, 5 and 6.
+//
+// A Fabric connects `hosts` workstations through a single switch (the
+// paper's testbed is a 4-node cluster). transmit() models NIC + wire +
+// switch timing and delivers the frame into the destination host's RX
+// mailbox at the simulated arrival instant. Host software costs (TCP/IP
+// stack, native APIs) live in separate layers on top.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "sim/mailbox.h"
+#include "sim/simulation.h"
+
+namespace scrnet::netmodels {
+
+struct Frame {
+  u32 src = 0;
+  u32 dst = 0;
+  std::vector<u8> payload;  // includes any protocol headers added above L2
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Simulation& sim, u32 hosts) : sim_(sim), hosts_(hosts) {
+    rx_.reserve(hosts);
+    for (u32 h = 0; h < hosts; ++h) rx_.push_back(std::make_unique<sim::Mailbox<Frame>>(sim));
+  }
+  virtual ~Fabric() = default;
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  u32 hosts() const { return hosts_; }
+  sim::Simulation& simulation() { return sim_; }
+  sim::Mailbox<Frame>& rx(u32 host) { return *rx_[host]; }
+
+  /// Hand a frame to the source NIC. Returns immediately (the NIC queues);
+  /// wire/switch timing is modeled inside, ending in an rx() push.
+  virtual void transmit(Frame f) = 0;
+
+  /// Maximum payload bytes a single frame may carry.
+  virtual u32 mtu_payload() const = 0;
+
+  u64 frames_delivered() const { return delivered_.get(); }
+  u64 bytes_delivered() const { return bytes_.get(); }
+
+ protected:
+  void deliver_at(SimTime t, Frame f) {
+    auto fp = std::make_shared<Frame>(std::move(f));
+    sim_.post_at(t, [this, fp] {
+      delivered_.inc();
+      bytes_.inc(fp->payload.size());
+      rx_[fp->dst]->push(std::move(*fp));
+    });
+  }
+
+  sim::Simulation& sim_;
+  u32 hosts_;
+  std::vector<std::unique_ptr<sim::Mailbox<Frame>>> rx_;
+  Counter delivered_, bytes_;
+};
+
+}  // namespace scrnet::netmodels

@@ -1,0 +1,61 @@
+#include "netmodels/myrinet.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace scrnet::netmodels {
+
+void MyrinetFabric::transmit(Frame f) {
+  assert(f.src < hosts_ && f.dst < hosts_);
+  assert(f.payload.size() <= cfg_.mtu);
+  const SimTime wire = wire_time_bits(
+      (static_cast<u64>(f.payload.size()) + cfg_.header_bytes) * 8, cfg_.mbits_per_s);
+
+  const SimTime tx_start = std::max(sim_.now(), in_busy_[f.src]);
+  in_busy_[f.src] = tx_start + wire;
+
+  // Wormhole cut-through: the head flit reaches the output port after the
+  // routing decision; the tail follows one wire time later. If the output
+  // port is busy the worm stalls in place until it frees.
+  const SimTime head_out =
+      std::max(tx_start + cfg_.propagation + cfg_.switch_latency, out_busy_[f.dst]);
+  const SimTime arrive = head_out + wire + cfg_.propagation;
+  out_busy_[f.dst] = head_out + wire;
+
+  deliver_at(arrive, std::move(f));
+}
+
+void MyrinetApi::send(sim::Process& p, u32 dst, std::span<const u8> payload) {
+  // A zero-byte message still occupies one (dummy-byte) frame on the wire.
+  static constexpr u8 kDummy = 0;
+  std::span<const u8> data = payload.empty() ? std::span<const u8>(&kDummy, 1) : payload;
+  usize off = 0;
+  while (off < data.size()) {
+    const usize n = std::min<usize>(data.size() - off, fabric_.mtu_payload());
+    p.delay(c_.send_fixed + static_cast<SimTime>(n) * c_.per_byte_send);
+    Frame f;
+    f.src = host_;
+    f.dst = dst;
+    f.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(off),
+                     data.begin() + static_cast<std::ptrdiff_t>(off + n));
+    fabric_.transmit(std::move(f));
+    off += n;
+  }
+}
+
+void MyrinetApi::recv(sim::Process& p, u32 src, std::span<u8> out, usize nbytes) {
+  assert(out.size() >= nbytes);
+  const usize need = std::max<usize>(nbytes, 1);  // dummy byte for 0-byte msgs
+  auto& buf = pending_[src];
+  while (buf.size() < need) {
+    Frame f = fabric_.rx(host_).pop(p);
+    p.delay(c_.recv_fixed + static_cast<SimTime>(f.payload.size()) * c_.per_byte_recv);
+    auto& dst_buf = pending_[f.src];
+    dst_buf.insert(dst_buf.end(), f.payload.begin(), f.payload.end());
+  }
+  if (nbytes > 0) std::memcpy(out.data(), buf.data(), nbytes);
+  buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(need));
+}
+
+}  // namespace scrnet::netmodels

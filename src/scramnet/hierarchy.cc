@@ -1,0 +1,133 @@
+#include "scramnet/hierarchy.h"
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+
+namespace scrnet::scramnet {
+
+RingHierarchy::RingHierarchy(sim::Simulation& sim, HierarchyConfig cfg)
+    : sim_(sim), cfg_(cfg) {
+  if (cfg_.leaf_rings < 2 || cfg_.nodes_per_ring < 1)
+    throw std::invalid_argument("hierarchy: need >=2 rings");
+  if (cfg_.total_nodes() < 2) throw std::invalid_argument("hierarchy: too small");
+  banks_.assign(cfg_.total_nodes(), std::vector<u32>(cfg_.bank_words, 0u));
+  ring_free_.assign(cfg_.leaf_rings + 1, 0);
+  tx_free_.assign(cfg_.total_nodes(), 0);
+}
+
+SimTime RingHierarchy::serialize(u32 ring, u32 payload_bytes, SimTime ready_at) {
+  SimTime& free = ring_free_[ring];
+  const SimTime start = std::max(ready_at, free);
+  const SimTime done = start + cfg_.packet_occupancy(payload_bytes);
+  free = done;
+  return done;
+}
+
+void RingHierarchy::deliver_at(SimTime at, u32 node, u32 word_addr,
+                               const std::shared_ptr<std::vector<u32>>& words) {
+  sim_.post_at(at, [this, node, word_addr, words] {
+    auto& bank = banks_[node];
+    assert(word_addr + words->size() <= bank.size());
+    for (usize i = 0; i < words->size(); ++i) bank[word_addr + i] = (*words)[i];
+  });
+}
+
+void RingHierarchy::inject(u32 src, u32 word_addr, std::vector<u32> words,
+                           SimTime ready_at) {
+  const u32 payload = static_cast<u32>(words.size()) * 4u;
+  const u32 src_ring = ring_of(src);
+  const u32 m = cfg_.nodes_per_ring;
+  packets_.inc();
+  auto shared = std::make_shared<std::vector<u32>>(std::move(words));
+
+  // 1. Source leaf ring: per-sender serialization, then hop-by-hop.
+  const SimTime leaf_start = std::max(ready_at, tx_free_[src]);
+  const SimTime leaf_done = serialize(src_ring, payload, leaf_start);
+  tx_free_[src] = leaf_done;
+  SimTime at_bridge = leaf_done;  // if src IS the bridge
+  for (u32 k = 1; k < m; ++k) {
+    const u32 local = (local_of(src) + k) % m;
+    const u32 dst = src_ring * m + local;
+    const SimTime at = leaf_done + static_cast<SimTime>(k) * cfg_.leaf_hop;
+    deliver_at(at, dst, word_addr, shared);
+    if (local == 0) at_bridge = at;  // bridge reached after this many hops
+  }
+  if (cfg_.leaf_rings < 2) return;
+
+  // 2. Bridge forwards onto the backbone (store-and-forward).
+  backbone_packets_.inc();
+  const SimTime bb_ready = at_bridge + cfg_.bridge_latency;
+  const SimTime bb_done = serialize(cfg_.leaf_rings, payload, bb_ready);
+
+  // 3. Backbone visits the other bridges; each forwards into its leaf ring.
+  for (u32 j = 1; j < cfg_.leaf_rings; ++j) {
+    const u32 ring = (src_ring + j) % cfg_.leaf_rings;
+    const SimTime at_other_bridge =
+        bb_done + static_cast<SimTime>(j) * cfg_.backbone_hop;
+    const u32 bridge_node = ring * m;
+    deliver_at(at_other_bridge, bridge_node, word_addr, shared);
+
+    // 4. Down into the leaf ring.
+    const SimTime down_ready = at_other_bridge + cfg_.bridge_latency;
+    const SimTime down_done = serialize(ring, payload, down_ready);
+    for (u32 k = 1; k < m; ++k) {
+      const u32 dst = ring * m + k;
+      deliver_at(down_done + static_cast<SimTime>(k) * cfg_.leaf_hop, dst,
+                 word_addr, shared);
+    }
+  }
+}
+
+void RingHierarchy::host_write(u32 node, u32 word_addr, u32 value) {
+  assert(node < nodes() && word_addr < cfg_.bank_words);
+  banks_[node][word_addr] = value;
+  inject(node, word_addr, {value}, sim_.now());
+}
+
+void RingHierarchy::host_write_block(u32 node, u32 word_addr,
+                                     std::span<const u32> words,
+                                     SimTime word_period) {
+  assert(node < nodes());
+  assert(word_addr + words.size() <= cfg_.bank_words);
+  if (words.empty()) return;
+  const u32 chunk_words =
+      cfg_.mode == PacketMode::kFixed4 ? 1u : cfg_.max_var_packet_bytes / 4u;
+  auto& bank = banks_[node];
+  usize off = 0;
+  while (off < words.size()) {
+    const usize n = std::min<usize>(chunk_words, words.size() - off);
+    std::vector<u32> chunk(words.begin() + static_cast<std::ptrdiff_t>(off),
+                           words.begin() + static_cast<std::ptrdiff_t>(off + n));
+    for (usize i = 0; i < n; ++i) bank[word_addr + off + i] = chunk[i];
+    inject(node, word_addr + static_cast<u32>(off), std::move(chunk),
+           sim_.now() + static_cast<SimTime>(off) * word_period);
+    off += n;
+  }
+}
+
+u32 RingHierarchy::host_read(u32 node, u32 word_addr) const {
+  assert(node < nodes() && word_addr < cfg_.bank_words);
+  return banks_[node][word_addr];
+}
+
+void RingHierarchy::host_read_block(u32 node, u32 word_addr,
+                                    std::span<u32> out) const {
+  assert(node < nodes());
+  assert(word_addr + out.size() <= cfg_.bank_words);
+  const auto& bank = banks_[node];
+  for (usize i = 0; i < out.size(); ++i) out[i] = bank[word_addr + i];
+}
+
+SimTime RingHierarchy::full_propagation_bound() const {
+  const u32 m = cfg_.nodes_per_ring;
+  const SimTime occ = cfg_.packet_occupancy(
+      cfg_.mode == PacketMode::kFixed4 ? 4u : cfg_.max_var_packet_bytes);
+  // Worst path: full leaf traversal to the bridge, backbone all the way
+  // round, bridge down, full leaf traversal again; three serializations.
+  return 3 * occ + 2 * cfg_.bridge_latency +
+         static_cast<SimTime>(2 * (m - 1)) * cfg_.leaf_hop +
+         static_cast<SimTime>(cfg_.leaf_rings - 1) * cfg_.backbone_hop;
+}
+
+}  // namespace scrnet::scramnet

@@ -1,0 +1,133 @@
+#include "scramnet/ring.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace scrnet::scramnet {
+
+Ring::Ring(sim::Simulation& sim, RingConfig cfg) : sim_(sim), cfg_(cfg) {
+  if (!cfg_.valid()) throw std::invalid_argument("invalid RingConfig");
+  banks_.assign(cfg_.nodes, std::vector<u32>(cfg_.bank_words, 0u));
+  tx_free_.assign(cfg_.nodes, 0);
+  irq_.resize(cfg_.nodes);
+  link_failed_.assign(cfg_.nodes, false);
+}
+
+void Ring::fail_link(u32 node) {
+  assert(node < cfg_.nodes);
+  link_failed_[node] = true;
+  if (cfg_.redundant_ring)
+    recover_at_ = std::max(recover_at_, sim_.now() + cfg_.switchover);
+}
+
+void Ring::heal_link(u32 node) {
+  assert(node < cfg_.nodes);
+  link_failed_[node] = false;
+}
+
+SimTime Ring::inject_packet(u32 src, u32 word_addr, std::vector<u32> words, SimTime ready_at) {
+  const u32 payload = static_cast<u32>(words.size()) * 4u;
+  const SimTime occ = cfg_.packet_occupancy(payload);
+  SimTime start = std::max({ready_at, tx_free_[src], ring_free_});
+  const SimTime done = start + occ;
+  tx_free_[src] = done;
+  ring_free_ = done;
+  packets_.inc();
+  words_.inc(words.size());
+
+  // Deliver to each downstream node after k hop latencies past
+  // serialization. A failed link on the path loses the packet for nodes
+  // beyond it (no redundancy) or delays them past the switchover.
+  auto shared = std::make_shared<std::vector<u32>>(std::move(words));
+  bool path_broken = false;
+  for (u32 k = 1; k < cfg_.nodes; ++k) {
+    const u32 dst = (src + k) % cfg_.nodes;
+    path_broken = path_broken || link_failed_[(src + k - 1) % cfg_.nodes];
+    SimTime at = done + static_cast<SimTime>(k) * cfg_.hop_latency;
+    if (path_broken) {
+      if (!cfg_.redundant_ring) {
+        lost_.inc();
+        continue;
+      }
+      at = std::max(at, recover_at_ + static_cast<SimTime>(k) * cfg_.hop_latency);
+    }
+    sim_.post_at(at, [this, dst, word_addr, shared] { deliver(dst, word_addr, *shared); });
+  }
+  return done;
+}
+
+void Ring::deliver(u32 dst, u32 word_addr, const std::vector<u32>& words) {
+  auto& bank = banks_[dst];
+  assert(word_addr + words.size() <= bank.size());
+  for (usize i = 0; i < words.size(); ++i) bank[word_addr + i] = words[i];
+  const IrqRange& r = irq_[dst];
+  if (r.handler) {
+    const u32 end = word_addr + static_cast<u32>(words.size());
+    if (word_addr < r.hi && end > r.lo) {
+      irqs_.inc();
+      r.handler(word_addr);
+    }
+  }
+}
+
+void Ring::host_write(u32 node, u32 word_addr, u32 value) {
+  assert(node < cfg_.nodes && word_addr < cfg_.bank_words);
+  banks_[node][word_addr] = value;
+  inject_packet(node, word_addr, {value}, sim_.now());
+}
+
+void Ring::host_write_block(u32 node, u32 word_addr, std::span<const u32> words,
+                            SimTime word_period) {
+  assert(node < cfg_.nodes);
+  assert(word_addr + words.size() <= cfg_.bank_words);
+  if (words.empty()) return;
+
+  // The host's PIO burst streams words into the NIC FIFO at `word_period`;
+  // the TX engine cuts through: it starts serializing a packet as soon as
+  // its first words arrive (ring rate ~ burst rate, so the FIFO never runs
+  // dry mid-packet). A packet is therefore ready at its *first* word's
+  // arrival; per-sender FIFO ordering is still enforced by the insertion
+  // engine (tx_free_), and delivery of a chunk always trails the host's
+  // write of that chunk because occupancy >= the chunk's pacing span.
+  const u32 chunk_words =
+      cfg_.mode == PacketMode::kFixed4 ? 1u : cfg_.max_var_packet_bytes / 4u;
+  auto& bank = banks_[node];
+  usize off = 0;
+  while (off < words.size()) {
+    const usize n = std::min<usize>(chunk_words, words.size() - off);
+    std::vector<u32> chunk(words.begin() + static_cast<std::ptrdiff_t>(off),
+                           words.begin() + static_cast<std::ptrdiff_t>(off + n));
+    for (usize i = 0; i < n; ++i) bank[word_addr + off + i] = chunk[i];
+    const SimTime ready = sim_.now() + static_cast<SimTime>(off) * word_period;
+    inject_packet(node, word_addr + static_cast<u32>(off), std::move(chunk), ready);
+    off += n;
+  }
+}
+
+u32 Ring::host_read(u32 node, u32 word_addr) const {
+  assert(node < cfg_.nodes && word_addr < cfg_.bank_words);
+  return banks_[node][word_addr];
+}
+
+void Ring::host_read_block(u32 node, u32 word_addr, std::span<u32> out) const {
+  assert(node < cfg_.nodes);
+  assert(word_addr + out.size() <= cfg_.bank_words);
+  const auto& bank = banks_[node];
+  for (usize i = 0; i < out.size(); ++i) out[i] = bank[word_addr + i];
+}
+
+void Ring::set_interrupt(u32 node, u32 lo_addr, u32 hi_addr,
+                         std::function<void(u32)> handler) {
+  assert(node < cfg_.nodes && lo_addr <= hi_addr);
+  irq_[node] = IrqRange{lo_addr, hi_addr, std::move(handler)};
+}
+
+void Ring::clear_interrupt(u32 node) { irq_[node] = IrqRange{}; }
+
+SimTime Ring::full_propagation_bound() const {
+  return cfg_.packet_occupancy(cfg_.mode == PacketMode::kFixed4 ? 4u
+                                                                : cfg_.max_var_packet_bytes) +
+         static_cast<SimTime>(cfg_.nodes - 1) * cfg_.hop_latency;
+}
+
+}  // namespace scrnet::scramnet

@@ -1,0 +1,99 @@
+// SCRAMNet replicated shared-memory ring -- discrete-event device model.
+//
+// Every node owns a memory bank replicated across the ring. A host write
+// lands in the local bank immediately and is injected onto the ring as a
+// packet; the packet visits each downstream node after k hop latencies and
+// updates that node's bank on arrival. Packets from one sender stay in
+// FIFO order (register-insertion rings guarantee this and the BillBoard
+// Protocol depends on it); packets from *different* senders may be applied
+// at different nodes in different relative orders -- the non-coherence the
+// paper describes in Section 2.
+//
+// Bandwidth is modeled at two choke points: a per-node insertion engine
+// and the shared ring medium, both running at the mode's data rate.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "scramnet/config.h"
+#include "sim/simulation.h"
+
+namespace scrnet::scramnet {
+
+class Ring {
+ public:
+  Ring(sim::Simulation& sim, RingConfig cfg);
+
+  const RingConfig& config() const { return cfg_; }
+  u32 nodes() const { return cfg_.nodes; }
+  u32 bank_words() const { return cfg_.bank_words; }
+  sim::Simulation& simulation() { return sim_; }
+
+  /// Host writes one word at `node` (immediate locally, replicated on ring).
+  void host_write(u32 node, u32 word_addr, u32 value);
+
+  /// Host writes a block; injections are paced at `word_period` apart so the
+  /// ring transfer overlaps the host's PIO burst (start of pacing = now).
+  void host_write_block(u32 node, u32 word_addr, std::span<const u32> words,
+                        SimTime word_period);
+
+  /// Host reads from the local bank (the replicated copy at `node`).
+  u32 host_read(u32 node, u32 word_addr) const;
+  void host_read_block(u32 node, u32 word_addr, std::span<u32> out) const;
+
+  /// Register an interrupt handler fired when a *network-delivered* write
+  /// lands at `node` inside [lo_addr, hi_addr). Used by the interrupt-driven
+  /// receive ablation (the paper's "future work" direction).
+  void set_interrupt(u32 node, u32 lo_addr, u32 hi_addr,
+                     std::function<void(u32 addr)> handler);
+  void clear_interrupt(u32 node);
+
+  /// Virtual time at which the write issued at `node` right now would have
+  /// fully propagated to every other node (useful for tests).
+  SimTime full_propagation_bound() const;
+
+  // -- fault injection ------------------------------------------------------
+
+  /// Fail the link from `node` to its downstream neighbor, effective now.
+  /// With cfg.redundant_ring the fabric recovers after cfg.switchover and
+  /// affected deliveries are delayed; without it they are lost.
+  void fail_link(u32 node);
+  /// Repair the link (takes effect for packets injected afterwards).
+  void heal_link(u32 node);
+  bool link_failed(u32 node) const { return link_failed_[node]; }
+  u64 packets_lost() const { return lost_.get(); }
+
+  // -- statistics ----------------------------------------------------------
+  u64 packets_sent() const { return packets_.get(); }
+  u64 words_replicated() const { return words_.get(); }
+  u64 interrupts_fired() const { return irqs_.get(); }
+
+ private:
+  struct IrqRange {
+    u32 lo = 0, hi = 0;
+    std::function<void(u32)> handler;
+  };
+
+  /// Schedule one packet of `words` (already applied to the sender's bank);
+  /// earliest injection time is `ready_at`. Returns when the packet finishes
+  /// serializing onto the ring.
+  SimTime inject_packet(u32 src, u32 word_addr, std::vector<u32> words, SimTime ready_at);
+
+  void deliver(u32 dst, u32 word_addr, const std::vector<u32>& words);
+
+  sim::Simulation& sim_;
+  RingConfig cfg_;
+  std::vector<std::vector<u32>> banks_;     // [node][word]
+  std::vector<SimTime> tx_free_;            // per-node insertion engine
+  SimTime ring_free_ = 0;                   // shared medium
+  std::vector<IrqRange> irq_;               // per-node interrupt watch
+  std::vector<bool> link_failed_;           // hop node -> node+1 broken
+  SimTime recover_at_ = 0;                  // redundant switchover deadline
+  Counter packets_, words_, irqs_, lost_;
+};
+
+}  // namespace scrnet::scramnet

@@ -1,0 +1,103 @@
+// SimHostPort: MemPort implementation binding one simulated process to one
+// node of the discrete-event Ring, with PCI-era PIO timing.
+#pragma once
+
+#include <cassert>
+#include <memory>
+
+#include "scramnet/config.h"
+#include "scramnet/port.h"
+#include "scramnet/ring.h"
+#include "sim/simulation.h"
+
+namespace scrnet::scramnet {
+
+class SimHostPort final : public MemPort {
+ public:
+  SimHostPort(Ring& ring, u32 node, sim::Process& proc, HostTimings timings = {})
+      : ring_(ring), node_(node), proc_(proc), t_(timings) {}
+
+  u32 node() const override { return node_; }
+  u32 nodes() const override { return ring_.nodes(); }
+  u32 bank_words() const override { return ring_.bank_words(); }
+
+  void write_u32(u32 word_addr, u32 value) override {
+    // Posted write: the bus transaction costs pio_write, after which the
+    // word is in the NIC and on its way around the ring.
+    proc_.delay(t_.pio_write);
+    ring_.host_write(node_, word_addr, value);
+  }
+
+  u32 read_u32(u32 word_addr) override {
+    // Non-posted PCI read: the CPU stalls for the full round trip and the
+    // value it gets is the bank content at completion time.
+    proc_.delay(t_.pio_read);
+    return ring_.host_read(node_, word_addr);
+  }
+
+  void write_block(u32 word_addr, std::span<const u32> words) override {
+    if (words.empty()) return;
+    // Inject paced chunks first (pacing starts now), then burn the host
+    // burst time; ring serialization overlaps the PIO burst.
+    ring_.host_write_block(node_, word_addr, words, t_.burst_write_word);
+    proc_.delay(t_.pio_write +
+                static_cast<SimTime>(words.size() - 1) * t_.burst_write_word);
+  }
+
+  void read_block(u32 word_addr, std::span<u32> out) override {
+    if (out.empty()) return;
+    proc_.delay(t_.pio_read +
+                static_cast<SimTime>(out.size() - 1) * t_.burst_read_word);
+    ring_.host_read_block(node_, word_addr, out);
+  }
+
+  SimTime now() const override { return proc_.now(); }
+  void poll_pause() override { proc_.delay(t_.poll_gap); }
+  void cpu_delay(SimTime dt) override { proc_.delay(dt); }
+
+  // -- DMA (Section 2: "programmed I/O or DMA") -----------------------------
+
+  bool has_dma() const override { return true; }
+
+  void dma_write(u32 word_addr, std::span<const u32> words) override {
+    if (words.empty()) return;
+    // CPU: descriptor + doorbell, then the NIC masters the bus while the
+    // process is free; ordering with later port writes is preserved by the
+    // ring's per-sender insertion engine (tx_free_).
+    proc_.delay(t_.dma_setup);
+    ring_.host_write_block(node_, word_addr, words, t_.dma_per_word);
+    proc_.delay(t_.dma_complete);
+  }
+
+  // -- interrupt-driven receive (paper Section 7 future work) --------------
+
+  bool supports_wait_write() const override { return true; }
+
+  void watch_range(u32 lo, u32 hi) override {
+    if (!irq_) irq_ = std::make_unique<sim::Signal>(proc_.simulation());
+    ring_.set_interrupt(node_, lo, hi, [this](u32) {
+      ++pending_irqs_;
+      irq_->notify_all();
+    });
+  }
+
+  void wait_write() override {
+    assert(irq_ && "watch_range() must be armed before wait_write()");
+    while (pending_irqs_ == 0) irq_->wait(proc_);
+    pending_irqs_ = 0;
+    proc_.delay(t_.irq_dispatch);  // handler + process wakeup
+  }
+
+  const HostTimings& timings() const { return t_; }
+  sim::Process& process() { return proc_; }
+
+ private:
+  Ring& ring_;
+  u32 node_;
+  sim::Process& proc_;
+  HostTimings t_;
+  std::unique_ptr<sim::Signal> irq_;
+  u64 pending_irqs_ = 0;
+};
+
+}  // namespace scrnet::scramnet

@@ -1,0 +1,147 @@
+#include "scramnet/thread_backend.h"
+
+#include <cassert>
+
+namespace scrnet::scramnet {
+
+// ---------------------------------------------------------------------------
+// ThreadBackend
+// ---------------------------------------------------------------------------
+
+ThreadBackend::ThreadBackend(u32 nodes, u32 bank_words)
+    : nodes_(nodes), bank_words_(bank_words) {
+  assert(nodes >= 2);
+  banks_.reserve(nodes);
+  for (u32 n = 0; n < nodes; ++n) {
+    auto bank = std::make_unique<std::atomic<u32>[]>(bank_words);
+    for (u32 w = 0; w < bank_words; ++w) bank[w].store(0, std::memory_order_relaxed);
+    banks_.push_back(std::move(bank));
+  }
+}
+
+void ThreadBackend::write(u32 src_node, u32 word_addr, u32 value) {
+  assert(src_node < nodes_ && word_addr < bank_words_);
+  // Own bank first (host write-through), then replicas. seq_cst everywhere
+  // keeps per-sender program order visible to every reader.
+  banks_[src_node][word_addr].store(value, std::memory_order_seq_cst);
+  for (u32 n = 0; n < nodes_; ++n) {
+    if (n == src_node) continue;
+    banks_[n][word_addr].store(value, std::memory_order_seq_cst);
+  }
+}
+
+void ThreadBackend::write_block(u32 src_node, u32 word_addr, std::span<const u32> words) {
+  assert(word_addr + words.size() <= bank_words_);
+  for (usize i = 0; i < words.size(); ++i)
+    write(src_node, word_addr + static_cast<u32>(i), words[i]);
+}
+
+u32 ThreadBackend::read(u32 node, u32 word_addr) const {
+  assert(node < nodes_ && word_addr < bank_words_);
+  return banks_[node][word_addr].load(std::memory_order_seq_cst);
+}
+
+void ThreadBackend::read_block(u32 node, u32 word_addr, std::span<u32> out) const {
+  assert(word_addr + out.size() <= bank_words_);
+  for (usize i = 0; i < out.size(); ++i)
+    out[i] = read(node, word_addr + static_cast<u32>(i));
+}
+
+// ---------------------------------------------------------------------------
+// DelayedThreadBackend
+// ---------------------------------------------------------------------------
+
+DelayedThreadBackend::DelayedThreadBackend(u32 nodes, u32 bank_words)
+    : nodes_(nodes), bank_words_(bank_words) {
+  assert(nodes >= 2);
+  banks_.reserve(nodes);
+  for (u32 n = 0; n < nodes; ++n) {
+    auto bank = std::make_unique<std::atomic<u32>[]>(bank_words);
+    for (u32 w = 0; w < bank_words; ++w) bank[w].store(0, std::memory_order_relaxed);
+    banks_.push_back(std::move(bank));
+  }
+  appliers_.reserve(nodes);
+  for (u32 n = 0; n < nodes; ++n) appliers_.push_back(std::make_unique<NodeApplier>());
+  for (u32 n = 0; n < nodes; ++n)
+    appliers_[n]->thread = std::thread([this, n] { applier_main(n); });
+}
+
+DelayedThreadBackend::~DelayedThreadBackend() {
+  for (auto& a : appliers_) {
+    {
+      std::lock_guard<std::mutex> lk(a->mu);
+      a->stop = true;
+    }
+    a->cv.notify_all();
+  }
+  for (auto& a : appliers_) a->thread.join();
+}
+
+void DelayedThreadBackend::applier_main(u32 node) {
+  NodeApplier& a = *appliers_[node];
+  auto& bank = banks_[node];
+  std::unique_lock<std::mutex> lk(a.mu);
+  for (;;) {
+    a.cv.wait(lk, [&] { return a.stop || !a.q.empty(); });
+    if (a.q.empty()) {
+      if (a.stop) return;
+      continue;
+    }
+    Update u = std::move(a.q.front());
+    a.q.pop_front();
+    lk.unlock();
+    for (usize i = 0; i < u.words.size(); ++i)
+      bank[u.addr + i].store(u.words[i], std::memory_order_seq_cst);
+    a.applied.fetch_add(1, std::memory_order_release);
+    lk.lock();
+  }
+}
+
+void DelayedThreadBackend::write(u32 src_node, u32 word_addr, u32 value) {
+  write_block(src_node, word_addr, std::span<const u32>(&value, 1));
+}
+
+void DelayedThreadBackend::write_block(u32 src_node, u32 word_addr,
+                                       std::span<const u32> words) {
+  assert(src_node < nodes_ && word_addr + words.size() <= bank_words_);
+  // Local bank synchronously (host write-through).
+  auto& own = banks_[src_node];
+  for (usize i = 0; i < words.size(); ++i)
+    own[word_addr + i].store(words[i], std::memory_order_seq_cst);
+  // Remote banks asynchronously via per-node applier queues. Each sender
+  // enqueues its own writes in program order, so per-sender FIFO holds at
+  // every destination; interleaving *between* senders differs per node.
+  Update u{word_addr, std::vector<u32>(words.begin(), words.end())};
+  for (u32 n = 0; n < nodes_; ++n) {
+    if (n == src_node) continue;
+    NodeApplier& a = *appliers_[n];
+    {
+      std::lock_guard<std::mutex> lk(a.mu);
+      a.q.push_back(u);
+      a.enqueued.fetch_add(1, std::memory_order_release);
+    }
+    a.cv.notify_one();
+  }
+}
+
+u32 DelayedThreadBackend::read(u32 node, u32 word_addr) const {
+  assert(node < nodes_ && word_addr < bank_words_);
+  return banks_[node][word_addr].load(std::memory_order_seq_cst);
+}
+
+void DelayedThreadBackend::read_block(u32 node, u32 word_addr, std::span<u32> out) const {
+  assert(word_addr + out.size() <= bank_words_);
+  for (usize i = 0; i < out.size(); ++i)
+    out[i] = read(node, word_addr + static_cast<u32>(i));
+}
+
+void DelayedThreadBackend::quiesce() {
+  for (auto& a : appliers_) {
+    while (a->applied.load(std::memory_order_acquire) !=
+           a->enqueued.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace scrnet::scramnet

@@ -1,0 +1,337 @@
+#include "scrmpi/adi.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace scrnet::scrmpi {
+
+namespace {
+/// The RTS payload is the 4-byte total message length (hdr.len must always
+/// equal the *framed* payload size, which for an RTS is 4).
+u32 rts_msg_len(std::span<const u8> payload) {
+  assert(payload.size() == 4);
+  u32 len = 0;
+  std::memcpy(&len, payload.data(), 4);
+  return len;
+}
+}  // namespace
+
+Engine::Engine(ChannelDevice& dev, LayerCosts costs) : dev_(dev), costs_(costs) {}
+
+u32 Engine::alloc_req() {
+  dev_.cpu(costs_.request_alloc);
+  if (!free_reqs_.empty()) {
+    const u32 idx = free_reqs_.back();
+    free_reqs_.pop_back();
+    reqs_[idx] = Req{};
+    return idx;
+  }
+  reqs_.emplace_back();
+  return static_cast<u32>(reqs_.size() - 1);
+}
+
+void Engine::free_req(u32 idx) {
+  reqs_[idx].state = Req::State::kFree;
+  reqs_[idx].send_copy.clear();
+  free_reqs_.push_back(idx);
+}
+
+// ---------------------------------------------------------------------------
+// Send side
+// ---------------------------------------------------------------------------
+
+Request Engine::isend(u32 dst, u16 ctx, i32 tag, std::span<const u8> data) {
+  const u32 idx = alloc_req();
+  Req& r = reqs_[idx];
+  dev_.cpu(costs_.adi_dispatch);
+
+  PktHeader h;
+  h.ctx = ctx;
+  h.tag = tag;
+  h.src = rank();
+  h.len = static_cast<u32>(data.size());
+
+  if (data.size() <= dev_.eager_limit()) {
+    // Short/eager: envelope + payload leave in one packet; the request is
+    // complete as soon as the channel accepts it.
+    h.kind = data.size() <= 1024 ? PktKind::kShort : PktKind::kEager;
+    dev_.cpu(costs_.channel_pack +
+             scaled(dev_.pack_cost(static_cast<u32>(data.size()))));
+    dev_.send_packet(dst, h, data);
+    r.state = Req::State::kDone;
+    return Request{idx};
+  }
+
+  // Rendezvous: request-to-send now, payload when the receiver is ready.
+  // hdr.len always equals the framed payload size (ch_sock relies on it);
+  // the RTS therefore carries the full message length as a 4-byte payload.
+  h.kind = PktKind::kRndvRts;
+  h.aux = idx;  // so the CTS can find this request
+  const u32 msg_len = static_cast<u32>(data.size());
+  u8 len_payload[4];
+  std::memcpy(len_payload, &msg_len, 4);
+  h.len = 4;
+  r.state = Req::State::kSendWaitCts;
+  r.dst = dst;
+  r.send_copy.assign(data.begin(), data.end());
+  dev_.cpu(costs_.channel_pack);
+  dev_.send_packet(dst, h, len_payload);
+  return Request{idx};
+}
+
+// ---------------------------------------------------------------------------
+// Receive side
+// ---------------------------------------------------------------------------
+
+Request Engine::irecv(i32 src, u16 ctx, i32 tag, std::span<u8> buf) {
+  const u32 idx = alloc_req();
+  Req& r = reqs_[idx];
+  r.want_src = src;
+  r.want_tag = tag;
+  r.ctx = ctx;
+  r.buf = buf;
+  dev_.cpu(costs_.adi_dispatch);
+
+  // Check the unexpected queue first (a message may already be here).
+  dev_.cpu(costs_.match);
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (!match(r, it->hdr)) continue;
+    Unexpected u = std::move(*it);
+    unexpected_.erase(it);
+    if (u.hdr.kind == PktKind::kRndvRts) {
+      // Grant the rendezvous: CTS carries the sender's request id in aux
+      // and ours in tag (documented protocol detail).
+      PktHeader cts;
+      cts.kind = PktKind::kRndvCts;
+      cts.ctx = ctx;
+      cts.src = rank();
+      cts.aux = u.hdr.aux;
+      cts.tag = static_cast<i32>(idx);
+      r.state = Req::State::kRecvWaitData;
+      r.status = status_of(u.hdr);
+      r.status.count_bytes = rts_msg_len(u.payload);
+      dev_.send_packet(u.hdr.src, cts, {});
+    } else {
+      complete_recv_into(idx, u.hdr, u.payload);
+    }
+    return Request{idx};
+  }
+  r.state = Req::State::kRecvPosted;
+  posted_.push_back(idx);
+  return Request{idx};
+}
+
+void Engine::complete_recv_into(u32 req_idx, const PktHeader& hdr,
+                                std::span<const u8> payload) {
+  Req& r = reqs_[req_idx];
+  const usize n = std::min<usize>(payload.size(), r.buf.size());
+  if (n) std::memcpy(r.buf.data(), payload.data(), n);
+  dev_.cpu(costs_.complete + scaled(dev_.unpack_cost(static_cast<u32>(n))));
+  r.status = status_of(hdr);
+  r.status.truncated = payload.size() > r.buf.size();
+  r.state = Req::State::kDone;
+}
+
+// ---------------------------------------------------------------------------
+// Progress
+// ---------------------------------------------------------------------------
+
+bool Engine::progress() {
+  bool any = false;
+  while (auto pkt = dev_.poll_packet()) {
+    handle(std::move(*pkt));
+    any = true;
+  }
+  return any;
+}
+
+void Engine::handle(Packet pkt) {
+  ++packets_handled_;
+  const PktHeader& h = pkt.hdr;
+  switch (h.kind) {
+    case PktKind::kShort:
+    case PktKind::kEager: {
+      dev_.cpu(costs_.match);
+      for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+        if (!match(reqs_[*it], h)) continue;
+        const u32 idx = *it;
+        posted_.erase(it);
+        complete_recv_into(idx, h, pkt.payload);
+        return;
+      }
+      unexpected_.push_back(Unexpected{h, std::move(pkt.payload)});
+      return;
+    }
+    case PktKind::kRndvRts: {
+      dev_.cpu(costs_.match);
+      for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+        if (!match(reqs_[*it], h)) continue;
+        const u32 idx = *it;
+        posted_.erase(it);
+        Req& r = reqs_[idx];
+        PktHeader cts;
+        cts.kind = PktKind::kRndvCts;
+        cts.ctx = h.ctx;
+        cts.src = rank();
+        cts.aux = h.aux;
+        cts.tag = static_cast<i32>(idx);
+        r.state = Req::State::kRecvWaitData;
+        r.status = status_of(h);
+        r.status.count_bytes = rts_msg_len(pkt.payload);
+        dev_.send_packet(h.src, cts, {});
+        return;
+      }
+      unexpected_.push_back(Unexpected{h, std::move(pkt.payload)});
+      return;
+    }
+    case PktKind::kRndvCts: {
+      const u32 idx = h.aux;
+      assert(idx < reqs_.size() && reqs_[idx].state == Req::State::kSendWaitCts);
+      Req& r = reqs_[idx];
+      PktHeader data_hdr;
+      data_hdr.kind = PktKind::kRndvData;
+      data_hdr.ctx = h.ctx;
+      data_hdr.src = rank();
+      data_hdr.len = static_cast<u32>(r.send_copy.size());
+      data_hdr.aux = static_cast<u32>(h.tag);  // receiver's request id
+      dev_.cpu(costs_.channel_pack +
+               scaled(dev_.pack_cost(static_cast<u32>(r.send_copy.size()))));
+      dev_.send_packet(r.dst, data_hdr, r.send_copy);
+      r.send_copy.clear();
+      r.state = Req::State::kDone;
+      return;
+    }
+    case PktKind::kRndvData: {
+      const u32 idx = h.aux;
+      assert(idx < reqs_.size() && reqs_[idx].state == Req::State::kRecvWaitData);
+      Req& r = reqs_[idx];
+      const i32 keep_tag = r.status.tag;  // envelope came with the RTS
+      const i32 keep_src = r.status.source;
+      complete_recv_into(idx, h, pkt.payload);
+      r.status.tag = keep_tag;
+      r.status.source = keep_src;
+      return;
+    }
+    case PktKind::kCollData: {
+      dev_.cpu(costs_.coll_fast);
+      collq_[{h.ctx, h.src}].push_back(std::move(pkt.payload));
+      return;
+    }
+    case PktKind::kCollBarrier: {
+      dev_.cpu(costs_.coll_fast);
+      ++barrier_count_[{h.ctx, h.aux}];
+      return;
+    }
+    case PktKind::kCollRelease: {
+      dev_.cpu(costs_.coll_fast);
+      u32& e = release_epoch_[h.ctx];
+      e = std::max(e, h.aux);
+      return;
+    }
+  }
+  throw std::runtime_error("scrmpi: unknown packet kind");
+}
+
+// ---------------------------------------------------------------------------
+// Completion
+// ---------------------------------------------------------------------------
+
+void Engine::spin_until_done(u32 idx) {
+  while (reqs_[idx].state != Req::State::kDone) {
+    if (!progress()) dev_.idle_pause();
+  }
+}
+
+MpiStatus Engine::wait(Request req) {
+  assert(req.valid() && req.idx < reqs_.size());
+  assert(reqs_[req.idx].state != Req::State::kFree && "wait on freed request");
+  spin_until_done(req.idx);
+  const MpiStatus st = reqs_[req.idx].status;
+  free_req(req.idx);
+  return st;
+}
+
+std::optional<MpiStatus> Engine::test(Request req) {
+  assert(req.valid() && req.idx < reqs_.size());
+  progress();
+  if (reqs_[req.idx].state != Req::State::kDone) return std::nullopt;
+  const MpiStatus st = reqs_[req.idx].status;
+  free_req(req.idx);
+  return st;
+}
+
+MpiStatus Engine::probe(i32 src, u16 ctx, i32 tag) {
+  for (;;) {
+    if (auto st = iprobe(src, ctx, tag)) return *st;
+    if (!progress()) dev_.idle_pause();
+  }
+}
+
+std::optional<MpiStatus> Engine::iprobe(i32 src, u16 ctx, i32 tag) {
+  dev_.cpu(costs_.probe);
+  progress();
+  for (const Unexpected& u : unexpected_) {
+    if (!match(src, ctx, tag, u.hdr)) continue;
+    MpiStatus st = status_of(u.hdr);
+    if (u.hdr.kind == PktKind::kRndvRts) st.count_bytes = rts_msg_len(u.payload);
+    return st;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Native-multicast collective transport
+// ---------------------------------------------------------------------------
+
+void Engine::coll_mcast(std::span<const u32> dsts, u16 ctx, PktKind kind,
+                        u32 aux, std::span<const u8> data) {
+  PktHeader h;
+  h.kind = kind;
+  h.ctx = ctx;
+  h.src = rank();
+  h.len = static_cast<u32>(data.size());
+  h.aux = aux;
+  dev_.cpu(costs_.coll_fast + scaled(dev_.pack_cost(static_cast<u32>(data.size()))));
+  dev_.mcast_packet(dsts, h, data);
+}
+
+void Engine::coll_send(u32 dst, u16 ctx, PktKind kind, u32 aux,
+                       std::span<const u8> data) {
+  PktHeader h;
+  h.kind = kind;
+  h.ctx = ctx;
+  h.src = rank();
+  h.len = static_cast<u32>(data.size());
+  h.aux = aux;
+  dev_.cpu(costs_.coll_fast);
+  dev_.send_packet(dst, h, data);
+}
+
+std::vector<u8> Engine::coll_wait_data(u16 ctx, u32 root) {
+  auto& q = collq_[{ctx, root}];
+  while (q.empty()) {
+    if (!progress()) dev_.idle_pause();
+  }
+  std::vector<u8> data = std::move(q.front());
+  q.pop_front();
+  dev_.cpu(costs_.coll_fast + scaled(dev_.unpack_cost(static_cast<u32>(data.size()))));
+  return data;
+}
+
+void Engine::coll_wait_arrivals(u16 ctx, u32 epoch, u32 n) {
+  const auto key = std::make_pair(ctx, epoch);
+  while (barrier_count_[key] < n) {
+    if (!progress()) dev_.idle_pause();
+  }
+  barrier_count_.erase(key);
+}
+
+void Engine::coll_wait_release(u16 ctx, u32 epoch) {
+  while (release_epoch_[ctx] < epoch) {
+    if (!progress()) dev_.idle_pause();
+  }
+}
+
+}  // namespace scrnet::scrmpi

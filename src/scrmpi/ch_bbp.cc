@@ -1,0 +1,50 @@
+#include "scrmpi/ch_bbp.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace scrnet::scrmpi {
+
+std::vector<u8> BbpChannel::frame(const PktHeader& hdr,
+                                  std::span<const u8> payload) const {
+  std::vector<u8> bytes(kHeaderBytes + payload.size());
+  u32 words[kHeaderWords];
+  encode_header(hdr, words);
+  std::memcpy(bytes.data(), words, kHeaderBytes);
+  if (!payload.empty())
+    std::memcpy(bytes.data() + kHeaderBytes, payload.data(), payload.size());
+  return bytes;
+}
+
+void BbpChannel::send_packet(u32 dst, const PktHeader& hdr,
+                             std::span<const u8> payload) {
+  const Status st = ep_.send(dst, frame(hdr, payload));
+  if (!st.ok()) throw std::runtime_error("ch_bbp send failed: " + st.to_string());
+}
+
+void BbpChannel::mcast_packet(std::span<const u32> dsts, const PktHeader& hdr,
+                              std::span<const u8> payload) {
+  const Status st = ep_.mcast(dsts, frame(hdr, payload));
+  if (!st.ok()) throw std::runtime_error("ch_bbp mcast failed: " + st.to_string());
+}
+
+std::optional<Packet> BbpChannel::poll_packet() {
+  const auto src = ep_.msg_avail();
+  if (!src) return std::nullopt;
+  auto r = ep_.recv(*src, rxbuf_);
+  if (!r.ok() || r.value().truncated)
+    throw std::runtime_error("ch_bbp: malformed packet");
+  if (r.value().len < kHeaderBytes)
+    throw std::runtime_error("ch_bbp: runt packet");
+  Packet pkt;
+  u32 words[kHeaderWords];
+  std::memcpy(words, rxbuf_.data(), kHeaderBytes);
+  pkt.hdr = decode_header(words);
+  const u32 body = r.value().len - kHeaderBytes;
+  if (body != pkt.hdr.len) throw std::runtime_error("ch_bbp: length mismatch");
+  pkt.payload.assign(rxbuf_.begin() + kHeaderBytes,
+                     rxbuf_.begin() + kHeaderBytes + body);
+  return pkt;
+}
+
+}  // namespace scrnet::scrmpi

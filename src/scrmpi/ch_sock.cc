@@ -1,0 +1,45 @@
+#include "scrmpi/ch_sock.h"
+
+#include <cstring>
+
+namespace scrnet::scrmpi {
+
+void SockChannel::send_packet(u32 dst, const PktHeader& hdr,
+                              std::span<const u8> payload) {
+  std::vector<u8> frame(kHeaderBytes + payload.size());
+  u32 words[kHeaderWords];
+  encode_header(hdr, words);
+  std::memcpy(frame.data(), words, kHeaderBytes);
+  if (!payload.empty())
+    std::memcpy(frame.data() + kHeaderBytes, payload.data(), payload.size());
+  stack_.send(proc_, dst, frame);
+}
+
+std::optional<Packet> SockChannel::poll_packet() {
+  stack_.try_absorb(proc_);
+  // Note: src == rank() is a valid stream too (MPI self-sends loop back
+  // through the fabric).
+  for (u32 src = 0; src < size_; ++src) {
+    if (want_[src] == 0) {
+      // Try to decode an envelope from this source's stream.
+      u8 hdr_bytes[kHeaderBytes];
+      if (!stack_.peek(src, hdr_bytes)) continue;
+      u32 words[kHeaderWords];
+      std::memcpy(words, hdr_bytes, kHeaderBytes);
+      want_hdr_[src] = decode_header(words);
+      want_[src] = kHeaderBytes + want_hdr_[src].len;
+    }
+    if (stack_.buffered(src) < want_[src]) continue;
+    // Whole frame present: consume it.
+    std::vector<u8> frame(want_[src]);
+    stack_.consume(proc_, src, frame, want_[src]);
+    Packet pkt;
+    pkt.hdr = want_hdr_[src];
+    pkt.payload.assign(frame.begin() + kHeaderBytes, frame.end());
+    want_[src] = 0;
+    return pkt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace scrnet::scrmpi

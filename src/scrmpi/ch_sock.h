@@ -1,0 +1,58 @@
+// ch_sock: the sockets channel device -- MPICH-over-TCP/IP, used for the
+// paper's Fast Ethernet, ATM and Myrinet(TCP) MPI baselines (Figures 3, 5
+// and 6).
+//
+// Packets are framed on the per-source byte stream as
+// [20-byte envelope][payload]. poll_packet() absorbs whatever frames the
+// fabric has delivered and returns a packet once one source's stream holds
+// a complete frame.
+#pragma once
+
+#include "netmodels/tcp.h"
+#include "scrmpi/channel.h"
+#include "sim/simulation.h"
+
+namespace scrnet::scrmpi {
+
+class SockChannel final : public ChannelDevice {
+ public:
+  /// One channel per rank; `stack` is this host's TCP stack and `proc` the
+  /// simulated process running the rank.
+  SockChannel(netmodels::TcpStack& stack, sim::Process& proc, u32 size,
+              SimTime poll_gap = ns(500))
+      : stack_(stack), proc_(proc), size_(size), poll_gap_(poll_gap),
+        want_(size, 0) {}
+
+  u32 rank() const override { return stack_.host(); }
+  u32 size() const override { return size_; }
+
+  void send_packet(u32 dst, const PktHeader& hdr,
+                   std::span<const u8> payload) override;
+  std::optional<Packet> poll_packet() override;
+
+  /// MPICH-over-TCP folds its packetization into the user<->kernel copy
+  /// the stack already charges; only a small header/bookkeeping per-byte
+  /// touch remains at this layer.
+  SimTime pack_cost(u32 len) const override { return ns(8) * len; }
+  SimTime unpack_cost(u32 len) const override { return ns(5) * len; }
+
+  SimTime now() const override { return proc_.now(); }
+  void cpu(SimTime dt) override { proc_.delay(dt); }
+  void idle_pause() override { proc_.delay(poll_gap_); }
+
+  /// TCP streams carry any size; cap eager at 64 KB so rendezvous is still
+  /// exercised and huge sends don't monopolize socket buffers.
+  u32 eager_limit() const override { return 64 * 1024; }
+
+ private:
+  netmodels::TcpStack& stack_;
+  sim::Process& proc_;
+  u32 size_;
+  SimTime poll_gap_;
+  // Per-source: decoded header of a partially arrived packet (want_ > 0
+  // means we know the total frame size we are waiting for).
+  std::vector<usize> want_;
+  std::vector<PktHeader> want_hdr_ = std::vector<PktHeader>(size_);
+};
+
+}  // namespace scrnet::scrmpi

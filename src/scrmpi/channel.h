@@ -1,0 +1,123 @@
+// The Channel Interface -- the lowest layer of the MPICH architecture the
+// paper ports ("we have developed a SCRAMNet Channel layer device which is
+// a minimal implementation of the Channel Interface").
+//
+// MPICH's channel interface is MPID_SendControl / MPID_ControlMsgAvail /
+// MPID_RecvAnyControl plus MPID_SendChannel / MPID_RecvFromChannel for
+// bulk data. Here the control+data pair is fused into whole packets: a
+// device accepts a (header, payload) and produces fully reassembled
+// packets, which keeps the upper layers device-independent while letting
+// each device choose its own framing (one BBP message per packet on
+// SCRAMNet; header+stream bytes on sockets).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace scrnet::scrmpi {
+
+/// Packet kinds used by the ADI protocols and collectives.
+enum class PktKind : u8 {
+  kShort = 1,     // envelope + payload inline (eager, small)
+  kEager = 2,     // envelope + payload (eager, larger; device may stream)
+  kRndvRts = 3,   // rendezvous request-to-send (aux = sender request id)
+  kRndvCts = 4,   // rendezvous clear-to-send   (aux = sender request id)
+  kRndvData = 5,  // rendezvous payload          (aux = receiver request id)
+  kCollData = 6,  // native-multicast collective payload (Bcast)
+  kCollBarrier = 7,   // barrier arrival notification (aux = epoch)
+  kCollRelease = 8,   // barrier release from coordinator (aux = epoch)
+};
+
+/// Fixed 20-byte envelope carried by every packet.
+struct PktHeader {
+  PktKind kind = PktKind::kShort;
+  u16 ctx = 0;     // communicator context id
+  i32 tag = 0;
+  u32 src = 0;     // world rank of the sender
+  u32 len = 0;     // payload bytes
+  u32 aux = 0;     // protocol-specific (request id / barrier epoch)
+};
+
+inline constexpr u32 kHeaderWords = 5;
+inline constexpr u32 kHeaderBytes = kHeaderWords * 4;
+
+/// Serialize/deserialize the envelope (word 0 packs kind+ctx).
+inline void encode_header(const PktHeader& h, u32 out[kHeaderWords]) {
+  out[0] = static_cast<u32>(h.kind) | (static_cast<u32>(h.ctx) << 8);
+  out[1] = static_cast<u32>(h.tag);
+  out[2] = h.src;
+  out[3] = h.len;
+  out[4] = h.aux;
+}
+
+inline PktHeader decode_header(const u32 in[kHeaderWords]) {
+  PktHeader h;
+  h.kind = static_cast<PktKind>(in[0] & 0xFF);
+  h.ctx = static_cast<u16>(in[0] >> 8);
+  h.tag = static_cast<i32>(in[1]);
+  h.src = in[2];
+  h.len = in[3];
+  h.aux = in[4];
+  return h;
+}
+
+struct Packet {
+  PktHeader hdr;
+  std::vector<u8> payload;
+};
+
+/// A channel device: one per MPI process.
+class ChannelDevice {
+ public:
+  virtual ~ChannelDevice() = default;
+
+  virtual u32 rank() const = 0;
+  virtual u32 size() const = 0;
+
+  /// MPID_SendControl (+ MPID_SendChannel fused): transmit one packet.
+  virtual void send_packet(u32 dst, const PktHeader& hdr,
+                           std::span<const u8> payload) = 0;
+
+  /// MPID_ControlMsgAvail + MPID_RecvAnyControl fused: return the next
+  /// fully reassembled packet if one is available (non-blocking).
+  virtual std::optional<Packet> poll_packet() = 0;
+
+  /// True when the device can multicast a packet in a single network step
+  /// (SCRAMNet's hardware replication; the hook MPICH reserves for devices
+  /// with extra functionality).
+  virtual bool has_native_mcast() const { return false; }
+
+  /// Multicast a packet; default loops over send_packet.
+  virtual void mcast_packet(std::span<const u32> dsts, const PktHeader& hdr,
+                            std::span<const u8> payload) {
+    for (u32 d : dsts) send_packet(d, hdr, payload);
+  }
+
+  /// CPU cost of packetizing `len` payload bytes into this device (the
+  /// channel-interface copy). Device-specific: the BBP channel pays a real
+  /// extra pass; a sockets channel folds it into the kernel copy the TCP
+  /// stack already charges.
+  virtual SimTime pack_cost(u32 len) const = 0;
+  /// CPU cost of delivering `len` payload bytes out of this device.
+  virtual SimTime unpack_cost(u32 len) const = 0;
+
+  /// Account CPU time spent in the MPI software layers above the device.
+  virtual void cpu(SimTime dt) = 0;
+
+  /// Current virtual time (0 when the device has no clock, e.g. mocks or
+  /// real-thread backends); used only for statistics.
+  virtual SimTime now() const { return 0; }
+
+  /// Back off when a blocking wait makes no progress.
+  virtual void idle_pause() = 0;
+
+  /// Largest payload the device prefers to carry eagerly; above this the
+  /// ADI switches to rendezvous.
+  virtual u32 eager_limit() const = 0;
+};
+
+}  // namespace scrnet::scrmpi

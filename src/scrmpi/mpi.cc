@@ -1,0 +1,593 @@
+#include "scrmpi/mpi.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+namespace scrnet::scrmpi {
+
+namespace {
+/// Reserved tags for collective phases on the coll context.
+constexpr i32 kTagBcast = 0x7001;
+constexpr i32 kTagBarrierUp = 0x7002;
+constexpr i32 kTagBarrierDown = 0x7003;
+constexpr i32 kTagReduce = 0x7004;
+constexpr i32 kTagGather = 0x7005;
+constexpr i32 kTagScatter = 0x7006;
+constexpr i32 kTagSplit = 0x7007;
+constexpr i32 kTagAlltoall = 0x7008;
+constexpr i32 kTagAllreduce = 0x7009;
+}  // namespace
+
+/// RAII scope accumulating virtual time spent inside a blocking MPI call.
+class Mpi::TimedCall {
+ public:
+  explicit TimedCall(Mpi& m) : m_(m), t0_(m.engine_.device().now()) {}
+  ~TimedCall() { m_.stats_.time_in_mpi += m_.engine_.device().now() - t0_; }
+  TimedCall(const TimedCall&) = delete;
+  TimedCall& operator=(const TimedCall&) = delete;
+
+ private:
+  Mpi& m_;
+  SimTime t0_;
+};
+
+Mpi::Mpi(ChannelDevice& dev, LayerCosts costs) : engine_(dev, costs) {
+  std::vector<u32> all(dev.size());
+  std::iota(all.begin(), all.end(), 0u);
+  world_ = Comm(0, std::move(all));
+}
+
+std::vector<u32> Mpi::others(const Comm& comm) const {
+  std::vector<u32> out;
+  out.reserve(comm.size() - 1);
+  for (u32 w : comm.members())
+    if (w != engine_.rank()) out.push_back(w);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Point to point
+// ---------------------------------------------------------------------------
+
+Request Mpi::isend(const void* buf, u32 count, Datatype dt, i32 dest, i32 tag,
+                   const Comm& comm) {
+  assert(dest >= 0 && static_cast<u32>(dest) < comm.size() && "bad dest rank");
+  engine_.device().cpu(engine_.costs().binding);
+  return engine_.isend(comm.world_of(static_cast<u32>(dest)), comm.p2p_ctx(), tag,
+                       as_bytes(buf, count, dt));
+}
+
+Request Mpi::irecv(void* buf, u32 count, Datatype dt, i32 src, i32 tag,
+                   const Comm& comm) {
+  assert((src == kAnySource || (src >= 0 && static_cast<u32>(src) < comm.size())) &&
+         "bad source rank");
+  engine_.device().cpu(engine_.costs().binding);
+  const i32 world_src =
+      src == kAnySource ? kAnySource : static_cast<i32>(comm.world_of(static_cast<u32>(src)));
+  return engine_.irecv(world_src, comm.p2p_ctx(), tag, as_bytes(buf, count, dt));
+}
+
+void Mpi::send(const void* buf, u32 count, Datatype dt, i32 dest, i32 tag,
+               const Comm& comm) {
+  TimedCall tc(*this);
+  ++stats_.sends;
+  stats_.bytes_sent += static_cast<u64>(count) * datatype_size(dt);
+  wait(isend(buf, count, dt, dest, tag, comm), comm);
+}
+
+MpiStatus Mpi::recv(void* buf, u32 count, Datatype dt, i32 src, i32 tag,
+                    const Comm& comm) {
+  TimedCall tc(*this);
+  ++stats_.recvs;
+  const MpiStatus st = wait(irecv(buf, count, dt, src, tag, comm), comm);
+  stats_.bytes_received += st.count_bytes;
+  return st;
+}
+
+MpiStatus Mpi::wait(Request r, const Comm& comm) {
+  MpiStatus st = engine_.wait(r);
+  if (st.source != kAnySource) st.source = comm.rank_of_world(static_cast<u32>(st.source));
+  return st;
+}
+
+std::optional<MpiStatus> Mpi::test(Request r, const Comm& comm) {
+  auto st = engine_.test(r);
+  if (st && st->source != kAnySource)
+    st->source = comm.rank_of_world(static_cast<u32>(st->source));
+  return st;
+}
+
+void Mpi::waitall(std::span<Request> rs, const Comm& comm) {
+  for (Request& r : rs) wait(r, comm);
+}
+
+std::pair<usize, MpiStatus> Mpi::waitany(std::span<Request> rs, const Comm& comm) {
+  assert(!rs.empty());
+  for (;;) {
+    bool any_valid = false;
+    for (usize i = 0; i < rs.size(); ++i) {
+      if (!rs[i].valid()) continue;
+      any_valid = true;
+      if (auto st = test(rs[i], comm)) {
+        rs[i] = Request{};  // invalidated, like MPI_Waitany
+        return {i, *st};
+      }
+    }
+    assert(any_valid && "waitany with no valid requests");
+    (void)any_valid;
+    engine_.device().idle_pause();
+  }
+}
+
+MpiStatus Mpi::probe(i32 src, i32 tag, const Comm& comm) {
+  const i32 world_src =
+      src == kAnySource ? kAnySource : static_cast<i32>(comm.world_of(static_cast<u32>(src)));
+  MpiStatus st = engine_.probe(world_src, comm.p2p_ctx(), tag);
+  if (st.source != kAnySource) st.source = comm.rank_of_world(static_cast<u32>(st.source));
+  return st;
+}
+
+std::optional<MpiStatus> Mpi::iprobe(i32 src, i32 tag, const Comm& comm) {
+  const i32 world_src =
+      src == kAnySource ? kAnySource : static_cast<i32>(comm.world_of(static_cast<u32>(src)));
+  auto st = engine_.iprobe(world_src, comm.p2p_ctx(), tag);
+  if (st && st->source != kAnySource)
+    st->source = comm.rank_of_world(static_cast<u32>(st->source));
+  return st;
+}
+
+MpiStatus Mpi::sendrecv(const void* sbuf, u32 scount, Datatype sdt, i32 dest,
+                        i32 stag, void* rbuf, u32 rcount, Datatype rdt, i32 src,
+                        i32 rtag, const Comm& comm) {
+  Request rr = irecv(rbuf, rcount, rdt, src, rtag, comm);
+  Request sr = isend(sbuf, scount, sdt, dest, stag, comm);
+  MpiStatus st = wait(rr, comm);
+  wait(sr, comm);
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// Collectives: MPICH point-to-point tree algorithms
+// ---------------------------------------------------------------------------
+
+
+void Mpi::coll_p2p_send(u32 world_dst, u16 ctx, i32 tag,
+                        std::span<const u8> data) {
+  engine_.device().cpu(engine_.costs().binding);
+  engine_.wait(engine_.isend(world_dst, ctx, tag, data));
+}
+
+void Mpi::coll_p2p_recv(u32 world_src, u16 ctx, i32 tag, std::span<u8> buf) {
+  engine_.device().cpu(engine_.costs().binding);
+  engine_.wait(engine_.irecv(static_cast<i32>(world_src), ctx, tag, buf));
+}
+
+void Mpi::bcast_p2p(void* buf, u32 bytes, i32 root, const Comm& comm) {
+  const u32 size = comm.size();
+  const u32 me = static_cast<u32>(rank(comm));
+  const u32 vroot = static_cast<u32>(root);
+  const u32 rel = (me - vroot + size) % size;
+
+  // Binomial tree (MPICH): receive from the parent, then forward to the
+  // subtree leads.
+  u32 mask = 1;
+  while (mask < size) {
+    if (rel & mask) {
+      const u32 parent = (rel - mask + vroot) % size;
+      // Collectives run on the coll context with a reserved tag.
+      coll_p2p_recv(comm.world_of(parent), comm.coll_ctx(), kTagBcast,
+                    {static_cast<u8*>(buf), bytes});
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < size) {
+      const u32 child = (rel + mask + vroot) % size;
+      coll_p2p_send(comm.world_of(child), comm.coll_ctx(), kTagBcast,
+                    {static_cast<const u8*>(buf), bytes});
+    }
+    mask >>= 1;
+  }
+}
+
+void Mpi::barrier_p2p(const Comm& comm) {
+  // MPICH 1.x: combine (tree gather) to rank 0, then a binomial release.
+  const u32 size = comm.size();
+  const u32 me = static_cast<u32>(rank(comm));
+  u8 token = 0;
+
+  u32 mask = 1;
+  while (mask < size) {
+    if (me & mask) {
+      const u32 parent = me - mask;
+      coll_p2p_send(comm.world_of(parent), comm.coll_ctx(), kTagBarrierUp, {&token, 1});
+      break;
+    }
+    if (me + mask < size) {
+      const u32 child = me + mask;
+      coll_p2p_recv(comm.world_of(child), comm.coll_ctx(), kTagBarrierUp, {&token, 1});
+    }
+    mask <<= 1;
+  }
+
+  // Release phase: binomial broadcast of a token from rank 0.
+  mask = 1;
+  while (mask < size) {
+    if (me & mask) {
+      const u32 parent = me - mask;
+      coll_p2p_recv(comm.world_of(parent), comm.coll_ctx(), kTagBarrierDown, {&token, 1});
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (me + mask < size) {
+      coll_p2p_send(comm.world_of(me + mask), comm.coll_ctx(), kTagBarrierDown,
+                    {&token, 1});
+    }
+    mask >>= 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Collectives: the paper's BBP-multicast implementations
+// ---------------------------------------------------------------------------
+
+void Mpi::bcast_native(void* buf, u32 bytes, i32 root, const Comm& comm) {
+  // Paper Section 4: "the process that is the root determines the processes
+  // in the group [and] uses the multicast operation in the BBP API to
+  // broadcast the data to each process in the group. ... not synchronizing
+  // ... multiple MPI_Bcast operations are matched in order."
+  const u32 me = static_cast<u32>(rank(comm));
+  if (me == static_cast<u32>(root)) {
+    if (comm.size() == 1) return;
+    const std::vector<u32> dsts = others(comm);
+    engine_.coll_mcast(dsts, comm.coll_ctx(), PktKind::kCollData, 0,
+                       {static_cast<const u8*>(buf), bytes});
+    return;
+  }
+  const std::vector<u8> data =
+      engine_.coll_wait_data(comm.coll_ctx(), comm.world_of(static_cast<u32>(root)));
+  if (data.size() != bytes)
+    throw std::runtime_error("scrmpi: bcast size mismatch across ranks");
+  if (bytes) std::memcpy(buf, data.data(), bytes);
+}
+
+void Mpi::barrier_native(const Comm& comm) {
+  // Paper Section 4: rank 0 coordinates -- it collects a null message from
+  // every member, then multicasts a null release to all of them.
+  const u32 size = comm.size();
+  if (size == 1) return;
+  const u32 me = static_cast<u32>(rank(comm));
+  const u16 ctx = comm.coll_ctx();
+  const u32 epoch = ++barrier_epoch_[ctx];
+
+  if (me == 0) {
+    engine_.coll_wait_arrivals(ctx, epoch, size - 1);
+    engine_.coll_mcast(others(comm), ctx, PktKind::kCollRelease, epoch, {});
+  } else {
+    engine_.coll_send(comm.world_of(0), ctx, PktKind::kCollBarrier, epoch, {});
+    engine_.coll_wait_release(ctx, epoch);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Collective entry points
+// ---------------------------------------------------------------------------
+
+void Mpi::bcast(void* buf, u32 count, Datatype dt, i32 root, const Comm& comm) {
+  assert(root >= 0 && static_cast<u32>(root) < comm.size());
+  TimedCall tc(*this);
+  ++stats_.bcasts;
+  engine_.device().cpu(engine_.costs().binding);
+  const u32 bytes = count * datatype_size(dt);
+  if (use_native(bcast_algo_))
+    bcast_native(buf, bytes, root, comm);
+  else
+    bcast_p2p(buf, bytes, root, comm);
+}
+
+void Mpi::barrier(const Comm& comm) {
+  TimedCall tc(*this);
+  ++stats_.barriers;
+  engine_.device().cpu(engine_.costs().binding);
+  if (use_native(barrier_algo_))
+    barrier_native(comm);
+  else
+    barrier_p2p(comm);
+}
+
+void Mpi::reduce(const void* sendbuf, void* recvbuf, u32 count, Datatype dt,
+                 ReduceOp op, i32 root, const Comm& comm) {
+  TimedCall tc(*this);
+  ++stats_.reduces;
+  engine_.device().cpu(engine_.costs().binding);
+  const u32 size = comm.size();
+  const u32 me = static_cast<u32>(rank(comm));
+  const u32 vroot = static_cast<u32>(root);
+  const u32 rel = (me - vroot + size) % size;
+  const u32 bytes = count * datatype_size(dt);
+
+  std::vector<u8> acc(bytes), tmp(bytes);
+  std::memcpy(acc.data(), sendbuf, bytes);
+
+  // Binomial combine toward the (virtual) root.
+  u32 mask = 1;
+  while (mask < size) {
+    if (rel & mask) {
+      const u32 parent = (rel - mask + vroot) % size;
+      coll_p2p_send(comm.world_of(parent), comm.coll_ctx(), kTagReduce, acc);
+      break;
+    }
+    if (rel + mask < size) {
+      const u32 child = (rel + mask + vroot) % size;
+      coll_p2p_recv(comm.world_of(child), comm.coll_ctx(), kTagReduce, tmp);
+      apply_reduce(dt, op, acc.data(), tmp.data(), count);
+    }
+    mask <<= 1;
+  }
+  if (me == vroot) std::memcpy(recvbuf, acc.data(), bytes);
+}
+
+void Mpi::allreduce(const void* sendbuf, void* recvbuf, u32 count, Datatype dt,
+                    ReduceOp op, const Comm& comm) {
+  if (allreduce_algo_ == AllreduceAlgo::kRecursiveDoubling) {
+    std::memcpy(recvbuf, sendbuf,
+                static_cast<usize>(count) * datatype_size(dt));
+    allreduce_rd(recvbuf, count, dt, op, comm);
+    return;
+  }
+  reduce(sendbuf, recvbuf, count, dt, op, 0, comm);
+  bcast(recvbuf, count, dt, 0, comm);
+}
+
+void Mpi::allreduce_rd(void* recvbuf, u32 count, Datatype dt, ReduceOp op,
+                       const Comm& comm) {
+  // MPICH's recursive doubling: fold the ranks beyond the largest power of
+  // two into their even neighbors, double among the survivors, then push
+  // the result back out. Requires commutative ops (all of ReduceOp is).
+  TimedCall tc(*this);
+  engine_.device().cpu(engine_.costs().binding);
+  const u32 np = comm.size();
+  const u32 me = static_cast<u32>(rank(comm));
+  const u32 bytes = count * datatype_size(dt);
+  if (np == 1) return;
+
+  u32 pof2 = 1;
+  while (pof2 * 2 <= np) pof2 *= 2;
+  const u32 rem = np - pof2;
+  std::vector<u8> tmp(bytes);
+
+  // Fold phase: odd ranks below 2*rem contribute to their even neighbor.
+  i32 newrank;
+  if (me < 2 * rem) {
+    if (me % 2 == 1) {
+      coll_p2p_send(comm.world_of(me - 1), comm.coll_ctx(), kTagAllreduce,
+                    {static_cast<const u8*>(recvbuf), bytes});
+      newrank = -1;  // sits out of the doubling phase
+    } else {
+      coll_p2p_recv(comm.world_of(me + 1), comm.coll_ctx(), kTagAllreduce, tmp);
+      apply_reduce(dt, op, recvbuf, tmp.data(), count);
+      newrank = static_cast<i32>(me / 2);
+    }
+  } else {
+    newrank = static_cast<i32>(me - rem);
+  }
+
+  // Doubling phase among the pof2 survivors.
+  if (newrank >= 0) {
+    for (u32 mask = 1; mask < pof2; mask <<= 1) {
+      const u32 newpeer = static_cast<u32>(newrank) ^ mask;
+      const u32 peer = newpeer < rem ? newpeer * 2 : newpeer + rem;
+      Request rr = engine_.irecv(static_cast<i32>(comm.world_of(peer)),
+                                 comm.coll_ctx(), kTagAllreduce, tmp);
+      Request sr = engine_.isend(comm.world_of(peer), comm.coll_ctx(),
+                                 kTagAllreduce,
+                                 {static_cast<const u8*>(recvbuf), bytes});
+      engine_.wait(rr);
+      engine_.wait(sr);
+      apply_reduce(dt, op, recvbuf, tmp.data(), count);
+    }
+  }
+
+  // Unfold: even ranks push the final result to the neighbors that sat out.
+  if (me < 2 * rem) {
+    if (me % 2 == 1) {
+      coll_p2p_recv(comm.world_of(me - 1), comm.coll_ctx(), kTagAllreduce,
+                    {static_cast<u8*>(recvbuf), bytes});
+    } else {
+      coll_p2p_send(comm.world_of(me + 1), comm.coll_ctx(), kTagAllreduce,
+                    {static_cast<const u8*>(recvbuf), bytes});
+    }
+  }
+}
+
+void Mpi::gather(const void* sendbuf, u32 count, Datatype dt, void* recvbuf,
+                 i32 root, const Comm& comm) {
+  TimedCall tc(*this);
+  ++stats_.gathers;
+  engine_.device().cpu(engine_.costs().binding);
+  const u32 me = static_cast<u32>(rank(comm));
+  const u32 bytes = count * datatype_size(dt);
+  if (me != static_cast<u32>(root)) {
+    coll_p2p_send(comm.world_of(static_cast<u32>(root)), comm.coll_ctx(), kTagGather,
+                  as_bytes(sendbuf, count, dt));
+    return;
+  }
+  u8* out = static_cast<u8*>(recvbuf);
+  std::memcpy(out + static_cast<usize>(me) * bytes, sendbuf, bytes);
+  for (u32 r = 0; r < comm.size(); ++r) {
+    if (r == me) continue;
+    coll_p2p_recv(comm.world_of(r), comm.coll_ctx(), kTagGather,
+                  {out + static_cast<usize>(r) * bytes, bytes});
+  }
+}
+
+void Mpi::scatter(const void* sendbuf, void* recvbuf, u32 count, Datatype dt,
+                  i32 root, const Comm& comm) {
+  TimedCall tc(*this);
+  ++stats_.scatters;
+  engine_.device().cpu(engine_.costs().binding);
+  const u32 me = static_cast<u32>(rank(comm));
+  const u32 bytes = count * datatype_size(dt);
+  if (me == static_cast<u32>(root)) {
+    const u8* in = static_cast<const u8*>(sendbuf);
+    for (u32 r = 0; r < comm.size(); ++r) {
+      if (r == me) {
+        std::memcpy(recvbuf, in + static_cast<usize>(r) * bytes, bytes);
+        continue;
+      }
+      coll_p2p_send(comm.world_of(r), comm.coll_ctx(), kTagScatter,
+                    {in + static_cast<usize>(r) * bytes, bytes});
+    }
+    return;
+  }
+  coll_p2p_recv(comm.world_of(static_cast<u32>(root)), comm.coll_ctx(), kTagScatter,
+                as_bytes(recvbuf, count, dt));
+}
+
+void Mpi::allgather(const void* sendbuf, u32 count, Datatype dt, void* recvbuf,
+                    const Comm& comm) {
+  gather(sendbuf, count, dt, recvbuf, 0, comm);
+  bcast(recvbuf, count * comm.size(), dt, 0, comm);
+}
+
+void Mpi::alltoall(const void* sendbuf, void* recvbuf, u32 count, Datatype dt,
+                   const Comm& comm) {
+  TimedCall tc(*this);
+  engine_.device().cpu(engine_.costs().binding);
+  const u32 me = static_cast<u32>(rank(comm));
+  const u32 np = comm.size();
+  const u32 bytes = count * datatype_size(dt);
+  const u8* in = static_cast<const u8*>(sendbuf);
+  u8* out = static_cast<u8*>(recvbuf);
+  std::memcpy(out + static_cast<usize>(me) * bytes,
+              in + static_cast<usize>(me) * bytes, bytes);
+  // Pairwise exchange: step i talks to (me XOR-free ring partners). Using
+  // (me + i) / (me - i) keeps every step contention-balanced on the ring.
+  for (u32 i = 1; i < np; ++i) {
+    const u32 dst = (me + i) % np;
+    const u32 src = (me + np - i) % np;
+    Request rr = engine_.irecv(static_cast<i32>(comm.world_of(src)), comm.coll_ctx(),
+                               kTagAlltoall, {out + static_cast<usize>(src) * bytes, bytes});
+    Request sr = engine_.isend(comm.world_of(dst), comm.coll_ctx(), kTagAlltoall,
+                               {in + static_cast<usize>(dst) * bytes, bytes});
+    engine_.wait(rr);
+    engine_.wait(sr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Communicator management
+// ---------------------------------------------------------------------------
+
+Comm Mpi::dup(const Comm& comm) {
+  const u16 ctx = next_base_ctx_++;
+  return Comm(ctx, comm.members());
+}
+
+Comm Mpi::split(const Comm& comm, i32 color, i32 key) {
+  // Allgather (color, key) pairs over the parent, then every rank computes
+  // the same grouping locally.
+  struct Entry {
+    i32 color, key;
+  };
+  const u32 size = comm.size();
+  const u32 me = static_cast<u32>(rank(comm));
+  std::vector<Entry> entries(size);
+  const Entry mine{color, key};
+
+  // Simple linear exchange on a reserved tag (split is not hot).
+  for (u32 r = 0; r < size; ++r) {
+    if (r == me) {
+      entries[r] = mine;
+      continue;
+    }
+    Request sreq = engine_.isend(comm.world_of(r), comm.coll_ctx(), kTagSplit,
+                                 {reinterpret_cast<const u8*>(&mine), sizeof(Entry)});
+    Request rreq = engine_.irecv(static_cast<i32>(comm.world_of(r)), comm.coll_ctx(),
+                                 kTagSplit,
+                                 {reinterpret_cast<u8*>(&entries[r]), sizeof(Entry)});
+    engine_.wait(rreq);
+    engine_.wait(sreq);
+  }
+
+  const u16 ctx = next_base_ctx_++;
+  if (color < 0) return Comm(ctx, {});
+
+  std::vector<u32> group;  // comm ranks in my color
+  for (u32 r = 0; r < size; ++r)
+    if (entries[r].color == color) group.push_back(r);
+  std::stable_sort(group.begin(), group.end(), [&](u32 a, u32 b) {
+    return entries[a].key < entries[b].key;
+  });
+  std::vector<u32> members;
+  members.reserve(group.size());
+  for (u32 r : group) members.push_back(comm.world_of(r));
+  return Comm(ctx, std::move(members));
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+namespace {
+template <typename T>
+void apply_typed(ReduceOp op, T* acc, const T* in, u32 count) {
+  for (u32 i = 0; i < count; ++i) {
+    switch (op) {
+      case ReduceOp::kSum: acc[i] = static_cast<T>(acc[i] + in[i]); break;
+      case ReduceOp::kProd: acc[i] = static_cast<T>(acc[i] * in[i]); break;
+      case ReduceOp::kMax: acc[i] = std::max(acc[i], in[i]); break;
+      case ReduceOp::kMin: acc[i] = std::min(acc[i], in[i]); break;
+      case ReduceOp::kLand: acc[i] = static_cast<T>(acc[i] && in[i]); break;
+      case ReduceOp::kLor: acc[i] = static_cast<T>(acc[i] || in[i]); break;
+      case ReduceOp::kBand:
+        if constexpr (std::is_integral_v<T>)
+          acc[i] = static_cast<T>(acc[i] & in[i]);
+        else
+          throw std::runtime_error("scrmpi: BAND on floating type");
+        break;
+      case ReduceOp::kBor:
+        if constexpr (std::is_integral_v<T>)
+          acc[i] = static_cast<T>(acc[i] | in[i]);
+        else
+          throw std::runtime_error("scrmpi: BOR on floating type");
+        break;
+    }
+  }
+}
+}  // namespace
+
+void apply_reduce(Datatype dt, ReduceOp op, void* acc, const void* in, u32 count) {
+  switch (dt) {
+    case Datatype::kByte:
+    case Datatype::kChar:
+      apply_typed(op, static_cast<u8*>(acc), static_cast<const u8*>(in), count);
+      return;
+    case Datatype::kInt32:
+      apply_typed(op, static_cast<i32*>(acc), static_cast<const i32*>(in), count);
+      return;
+    case Datatype::kUint32:
+      apply_typed(op, static_cast<u32*>(acc), static_cast<const u32*>(in), count);
+      return;
+    case Datatype::kInt64:
+      apply_typed(op, static_cast<i64*>(acc), static_cast<const i64*>(in), count);
+      return;
+    case Datatype::kFloat:
+      apply_typed(op, static_cast<float*>(acc), static_cast<const float*>(in), count);
+      return;
+    case Datatype::kDouble:
+      apply_typed(op, static_cast<double*>(acc), static_cast<const double*>(in), count);
+      return;
+  }
+  throw std::runtime_error("scrmpi: unknown datatype");
+}
+
+}  // namespace scrnet::scrmpi

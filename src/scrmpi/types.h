@@ -1,0 +1,79 @@
+// Public types for scrmpi, the MPICH-derived mini-MPI of the paper's
+// Section 4. Naming follows MPI conventions; the subset implemented is the
+// one the paper exercises plus natural extensions used by the examples.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.h"
+
+namespace scrnet::scrmpi {
+
+/// Wildcards (match MPI semantics).
+inline constexpr i32 kAnySource = -1;
+inline constexpr i32 kAnyTag = -1;
+
+/// Elementary datatypes: scrmpi moves bytes; datatypes carry the element
+/// size so Reduce can reinterpret and counts convert correctly.
+enum class Datatype : u8 {
+  kByte,
+  kChar,
+  kInt32,
+  kUint32,
+  kInt64,
+  kFloat,
+  kDouble,
+};
+
+constexpr u32 datatype_size(Datatype d) {
+  switch (d) {
+    case Datatype::kByte:
+    case Datatype::kChar: return 1;
+    case Datatype::kInt32:
+    case Datatype::kUint32:
+    case Datatype::kFloat: return 4;
+    case Datatype::kInt64:
+    case Datatype::kDouble: return 8;
+  }
+  return 1;
+}
+
+constexpr std::string_view datatype_name(Datatype d) {
+  switch (d) {
+    case Datatype::kByte: return "BYTE";
+    case Datatype::kChar: return "CHAR";
+    case Datatype::kInt32: return "INT32";
+    case Datatype::kUint32: return "UINT32";
+    case Datatype::kInt64: return "INT64";
+    case Datatype::kFloat: return "FLOAT";
+    case Datatype::kDouble: return "DOUBLE";
+  }
+  return "?";
+}
+
+/// Reduction operators.
+enum class ReduceOp : u8 { kSum, kProd, kMax, kMin, kLand, kLor, kBand, kBor };
+
+/// Completion status of a receive (subset of MPI_Status).
+struct MpiStatus {
+  i32 source = kAnySource;
+  i32 tag = kAnyTag;
+  u32 count_bytes = 0;
+  bool truncated = false;
+};
+
+/// Opaque request handle (index into the engine's request table).
+struct Request {
+  u32 idx = 0xFFFFFFFFu;
+  bool valid() const { return idx != 0xFFFFFFFFu; }
+};
+
+/// Collective algorithm selection; the paper's Figures 5 and 6 compare
+/// exactly these two implementations.
+enum class CollAlgo {
+  kAuto,          // native multicast when the device has it, else p2p
+  kPointToPoint,  // MPICH's standard tree algorithms over MPI p2p
+  kNativeMcast,   // the paper's BBP-multicast-based implementation
+};
+
+}  // namespace scrnet::scrmpi

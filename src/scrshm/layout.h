@@ -1,0 +1,39 @@
+// Shared-variable layout helpers for the SCRAMNet shared-memory
+// programming model (the usage Section 2 of the paper says SCRAMNet was
+// "almost exclusively" put to before BBP).
+//
+// Everything here follows the single-writer discipline that makes
+// algorithms correct on *non-coherent* replicated memory: each word is
+// written by exactly one process, and per-sender FIFO propagation makes
+// every such word a regular register (readers see a monotone prefix of
+// the writer's writes) -- the register model Lamport's algorithms assume.
+#pragma once
+
+#include <stdexcept>
+
+#include "common/types.h"
+#include "scramnet/port.h"
+
+namespace scrnet::scrshm {
+
+/// A bump allocator over a word range of the replicated memory, used to
+/// lay out synchronization objects identically on every process.
+class Arena {
+ public:
+  Arena(u32 base_word, u32 size_words) : base_(base_word), end_(base_word + size_words), next_(base_word) {}
+
+  /// Allocate `words`, aligned to `align` words.
+  u32 alloc(u32 words, u32 align = 1) {
+    const u32 at = align_up(next_, align);
+    if (at + words > end_) throw std::invalid_argument("scrshm: arena exhausted");
+    next_ = at + words;
+    return at;
+  }
+
+  u32 remaining() const { return end_ - next_; }
+
+ private:
+  u32 base_, end_, next_;
+};
+
+}  // namespace scrnet::scrshm

@@ -1,0 +1,66 @@
+// Typed blocking FIFO between simulated actors, built on sim::Signal.
+//
+// Device models push from event context (no process needed); processes pop
+// with blocking semantics. Used by the network models to hand received
+// frames/segments to host stacks.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/simulation.h"
+
+namespace scrnet::sim {
+
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Simulation& sim) : signal_(sim) {}
+
+  /// Push an item; wakes one blocked consumer.
+  void push(T item) {
+    q_.push_back(std::move(item));
+    signal_.notify_one();
+  }
+
+  /// Blocking pop from a simulated process.
+  T pop(Process& p) {
+    while (q_.empty()) signal_.wait(p);
+    T item = std::move(q_.front());
+    q_.pop_front();
+    return item;
+  }
+
+  /// Pop with timeout; nullopt if nothing arrived in time.
+  std::optional<T> pop_for(Process& p, SimTime timeout) {
+    const SimTime deadline = p.now() + timeout;
+    while (q_.empty()) {
+      const SimTime remain = deadline - p.now();
+      if (remain <= 0 || !signal_.wait_for(p, remain)) {
+        if (!q_.empty()) break;  // raced with a late push at the deadline
+        return std::nullopt;
+      }
+    }
+    T item = std::move(q_.front());
+    q_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking peek/pop.
+  bool empty() const { return q_.empty(); }
+  usize size() const { return q_.size(); }
+  const T& front() const { return q_.front(); }
+  std::optional<T> try_pop() {
+    if (q_.empty()) return std::nullopt;
+    T item = std::move(q_.front());
+    q_.pop_front();
+    return item;
+  }
+
+ private:
+  std::deque<T> q_;
+  Signal signal_;
+};
+
+}  // namespace scrnet::sim

@@ -1,0 +1,228 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace scrnet::sim {
+
+namespace {
+/// Internal exception used to unwind a hosted process thread when the
+/// Simulation is destroyed while the process is still blocked.
+struct ProcessCancelled {};
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Process
+// ---------------------------------------------------------------------------
+
+Process::Process(Simulation& sim, u32 id, std::string name, std::function<void(Process&)> body)
+    : sim_(sim), id_(id), name_(std::move(name)), body_(std::move(body)) {
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void Process::thread_main() {
+  try {
+    from_kernel_wait();  // wait for the first dispatch
+    body_(*this);
+  } catch (const ProcessCancelled&) {
+    // Simulation is being torn down: exit without handing control back.
+    state_ = State::kFinished;
+    return;
+  } catch (const std::exception& e) {
+    error_ = e.what();
+  } catch (...) {
+    error_ = "unknown exception";
+  }
+  state_ = State::kFinished;
+  to_kernel();
+}
+
+void Process::to_kernel() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    proc_turn_ = false;
+  }
+  cv_.notify_all();
+}
+
+void Process::from_kernel_wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [this] { return proc_turn_; });
+  if (cancelled_) throw ProcessCancelled{};
+}
+
+void Process::delay(SimTime dt) {
+  assert(dt >= 0 && "negative delay");
+  state_ = State::kReady;
+  sim_.schedule_resume(*this, sim_.now() + dt);
+  to_kernel();
+  from_kernel_wait();
+}
+
+void Process::yield() { delay(0); }
+
+void Process::park() {
+  state_ = State::kParked;
+  ++park_token_;
+  to_kernel();
+  from_kernel_wait();
+}
+
+SimTime Process::now() const { return sim_.now(); }
+
+// ---------------------------------------------------------------------------
+// Simulation
+// ---------------------------------------------------------------------------
+
+Simulation::Simulation() = default;
+
+Simulation::~Simulation() {
+  // Unblock and join any process thread that has not finished.
+  for (auto& up : procs_) {
+    Process& p = *up;
+    if (!p.thread_.joinable()) continue;
+    if (p.state_ != Process::State::kFinished) {
+      {
+        std::lock_guard<std::mutex> lk(p.mu_);
+        p.cancelled_ = true;
+        p.proc_turn_ = true;
+      }
+      p.cv_.notify_all();
+    }
+    p.thread_.join();
+  }
+}
+
+void Simulation::post(SimTime delay, std::function<void()> fn) {
+  post_at(now_ + delay, std::move(fn));
+}
+
+void Simulation::post_at(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot post into the past");
+  queue_.push(Event{t, seq_++, std::move(fn)});
+}
+
+Process& Simulation::spawn(std::string name, std::function<void(Process&)> body) {
+  procs_.push_back(std::unique_ptr<Process>(
+      new Process(*this, static_cast<u32>(procs_.size()), std::move(name), std::move(body))));
+  Process& p = *procs_.back();
+  p.state_ = Process::State::kReady;
+  schedule_resume(p, now_);
+  return p;
+}
+
+void Simulation::schedule_resume(Process& p, SimTime t) {
+  post_at(t, [this, &p] { dispatch(p); });
+}
+
+void Simulation::dispatch(Process& p) {
+  if (p.state_ == Process::State::kFinished) return;  // stale resume after error
+  assert(p.state_ == Process::State::kReady && "dispatching a non-ready process");
+  {
+    std::lock_guard<std::mutex> lk(p.mu_);
+    p.state_ = Process::State::kRunning;
+    p.proc_turn_ = true;
+  }
+  p.cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lk(p.mu_);
+    p.cv_.wait(lk, [&p] { return !p.proc_turn_; });
+  }
+  if (p.state_ == Process::State::kFinished && !p.error_.empty()) {
+    throw ProcessError("process '" + p.name_ + "' failed: " + p.error_);
+  }
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  assert(ev.t >= now_);
+  now_ = ev.t;
+  ++events_executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulation::run() {
+  running_ = true;
+  while (step()) {
+    if (time_limit_ > 0 && now_ > time_limit_) {
+      running_ = false;
+      throw std::runtime_error("simulation exceeded time limit");
+    }
+  }
+  running_ = false;
+  // Queue drained: every process must have finished, otherwise we deadlocked.
+  std::ostringstream parked;
+  usize nparked = 0;
+  for (const auto& up : procs_) {
+    if (up->state_ == Process::State::kParked) {
+      if (nparked++) parked << ", ";
+      parked << up->name();
+    }
+  }
+  if (nparked > 0) {
+    throw DeadlockError("simulation deadlock: " + std::to_string(nparked) +
+                        " process(es) parked with no pending events: " + parked.str());
+  }
+}
+
+bool Simulation::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().t <= t) step();
+  if (now_ < t) now_ = t;
+  return !queue_.empty();
+}
+
+usize Simulation::live_processes() const {
+  usize n = 0;
+  for (const auto& up : procs_)
+    if (up->state_ != Process::State::kFinished) ++n;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Signal
+// ---------------------------------------------------------------------------
+
+void Signal::wait(Process& p) {
+  waiting_.push_back(&p);
+  p.park();
+}
+
+bool Signal::wait_for(Process& p, SimTime timeout) {
+  waiting_.push_back(&p);
+  const u64 token = p.park_token_ + 1;  // token park() is about to use
+  p.wake_was_notify_ = true;
+  sim_.post(timeout, [this, &p, token] {
+    if (p.state_ == Process::State::kParked && p.park_token_ == token) {
+      // Still parked on this very wait: cancel it.
+      for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+        if (*it == &p) {
+          waiting_.erase(it);
+          break;
+        }
+      }
+      p.wake_was_notify_ = false;
+      p.state_ = Process::State::kReady;
+      sim_.dispatch(p);
+    }
+  });
+  p.park();
+  return p.wake_was_notify_;
+}
+
+void Signal::notify_all() {
+  while (!waiting_.empty()) notify_one();
+}
+
+void Signal::notify_one() {
+  if (waiting_.empty()) return;
+  Process* p = waiting_.front();
+  waiting_.pop_front();
+  p->wake_was_notify_ = true;
+  p->state_ = Process::State::kReady;
+  sim_.schedule_resume(*p, sim_.now());
+}
+
+}  // namespace scrnet::sim

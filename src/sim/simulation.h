@@ -1,0 +1,207 @@
+// Discrete-event simulation kernel.
+//
+// The kernel advances a virtual clock over a totally-ordered event queue
+// (time, then insertion sequence -- fully deterministic). Two kinds of
+// actors exist:
+//
+//  * event callbacks -- device models (ring, switch, NIC) post plain
+//    functions to run at a future virtual time;
+//  * processes -- protocol/application code (BBP endpoints, MPI ranks)
+//    written as ordinary blocking C++ running on a hosted std::thread.
+//    Exactly one thread (kernel or one process) runs at any instant,
+//    exchanged through a mutex/condvar handshake, SystemC-style. This lets
+//    the *real* protocol code execute unmodified inside the simulation.
+//
+// A process consumes virtual time with Process::delay() and blocks on
+// conditions with sim::Signal. If the event queue drains while processes
+// are still parked, the kernel reports a deadlock with the parked
+// process names (a real protocol bug surface, exercised by tests).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace scrnet::sim {
+
+class Simulation;
+class Process;
+
+/// Thrown by Simulation::run() when all events are exhausted but one or more
+/// processes are still parked on a Signal.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown out of run() when a simulated process body threw.
+class ProcessError : public std::runtime_error {
+ public:
+  explicit ProcessError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A simulated process. Instances are owned by the Simulation; user code
+/// receives a reference in its body functor and must not retain it past
+/// process exit.
+class Process {
+ public:
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// Consume `dt` of virtual time (models CPU work / bus transactions).
+  void delay(SimTime dt);
+
+  /// Reschedule at the current time, after already-queued events. Useful to
+  /// model "check again immediately but let the world make progress".
+  void yield();
+
+  /// Virtual now() shortcut.
+  SimTime now() const;
+
+  Simulation& simulation() const { return sim_; }
+  const std::string& name() const { return name_; }
+  u32 id() const { return id_; }
+  bool finished() const { return state_ == State::kFinished; }
+
+ private:
+  friend class Simulation;
+  friend class Signal;
+
+  enum class State {
+    kCreated,   // thread not yet started
+    kReady,     // resume event queued
+    kRunning,   // process thread active
+    kParked,    // waiting on a Signal (no resume event queued)
+    kFinished,  // body returned or threw
+  };
+
+  Process(Simulation& sim, u32 id, std::string name, std::function<void(Process&)> body);
+
+  void thread_main();
+  /// Switch control process -> kernel. Called with proc about to block.
+  void to_kernel();
+  /// Block this process until the kernel hands control back.
+  void from_kernel_wait();
+  /// Park on a signal: no resume event is scheduled; Signal::notify will.
+  void park();
+
+  Simulation& sim_;
+  u32 id_;
+  std::string name_;
+  std::function<void(Process&)> body_;
+  std::thread thread_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool proc_turn_ = false;    // true: process may run; false: kernel may run
+  bool cancelled_ = false;    // set during Simulation teardown
+  bool wake_was_notify_ = false;  // distinguishes notify vs timeout wakeups
+  State state_ = State::kCreated;
+  u64 park_token_ = 0;        // incremented on every park, guards stale wakeups
+  std::string error_;         // exception text if the body threw
+};
+
+/// The simulation kernel.
+class Simulation {
+ public:
+  Simulation();
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Post a device callback `delay` after now.
+  void post(SimTime delay, std::function<void()> fn);
+  /// Post a device callback at absolute time t (must be >= now).
+  void post_at(SimTime t, std::function<void()> fn);
+
+  /// Create a process; it starts at the current virtual time (or at start
+  /// of run() if spawned before run()).
+  Process& spawn(std::string name, std::function<void(Process&)> body);
+
+  /// Run until the event queue is empty and every process has finished.
+  /// Throws DeadlockError / ProcessError on failure.
+  void run();
+
+  /// Run until the given virtual time; returns true if work remains.
+  bool run_until(SimTime t);
+
+  /// Safety valve: abort run() if virtual time passes this (0 = unlimited).
+  void set_time_limit(SimTime t) { time_limit_ = t; }
+
+  u64 events_executed() const { return events_executed_; }
+  usize live_processes() const;
+
+ private:
+  friend class Process;
+  friend class Signal;
+
+  struct Event {
+    SimTime t;
+    u64 seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const { return t != o.t ? t > o.t : seq > o.seq; }
+  };
+
+  /// Schedule process resume at absolute time t.
+  void schedule_resume(Process& p, SimTime t);
+  /// Give control to process p and wait until it blocks or finishes.
+  void dispatch(Process& p);
+  bool step();  // execute one event; returns false if queue empty
+
+  SimTime now_ = 0;
+  SimTime time_limit_ = 0;
+  u64 seq_ = 0;
+  u64 events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::vector<std::unique_ptr<Process>> procs_;
+  bool running_ = false;
+};
+
+/// Condition-variable analog for simulated processes.
+///
+/// wait() parks the calling process until another actor calls notify_all/
+/// notify_one. Wakeups are scheduled as regular events at the notifying
+/// time, preserving determinism.
+class Signal {
+ public:
+  explicit Signal(Simulation& sim) : sim_(sim) {}
+
+  Signal(const Signal&) = delete;
+  Signal& operator=(const Signal&) = delete;
+
+  /// Park until notified.
+  void wait(Process& p);
+
+  /// Park until notified or until `timeout` elapses; true if notified.
+  bool wait_for(Process& p, SimTime timeout);
+
+  /// Wait until pred() holds, re-checking after every notification.
+  template <typename Pred>
+  void wait_until(Process& p, Pred pred) {
+    while (!pred()) wait(p);
+  }
+
+  void notify_all();
+  void notify_one();
+
+  usize waiters() const { return waiting_.size(); }
+
+ private:
+  Simulation& sim_;
+  std::deque<Process*> waiting_;
+};
+
+}  // namespace scrnet::sim

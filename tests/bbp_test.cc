@@ -1,0 +1,488 @@
+// Tests for the BillBoard Protocol, on both the discrete-event SCRAMNet
+// model and the real-threads replicated-memory backends.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "bbp/api.h"
+#include "bbp/endpoint.h"
+#include "common/bytes.h"
+#include "scramnet/ring.h"
+#include "scramnet/sim_port.h"
+#include "scramnet/thread_backend.h"
+
+namespace scrnet::bbp {
+namespace {
+
+using scramnet::Ring;
+using scramnet::RingConfig;
+using scramnet::SimHostPort;
+
+/// Spin up a simulated BBP session: one process per rank, each body getting
+/// (process, endpoint).
+class SimSession {
+ public:
+  explicit SimSession(u32 procs, Config cfg = {}, RingConfig rcfg = {}) {
+    rcfg.nodes = procs;
+    ring_ = std::make_unique<Ring>(sim_, rcfg);
+    bodies_.resize(procs);
+    cfg_ = cfg;
+  }
+
+  void rank(u32 r, std::function<void(sim::Process&, Endpoint&)> body) {
+    bodies_[r] = std::move(body);
+  }
+
+  void run() {
+    for (u32 r = 0; r < bodies_.size(); ++r) {
+      if (!bodies_[r]) continue;
+      sim_.spawn("rank" + std::to_string(r), [this, r](sim::Process& p) {
+        SimHostPort port(*ring_, r, p);
+        Endpoint ep(port, static_cast<u32>(bodies_.size()), r, cfg_);
+        bodies_[r](p, ep);
+      });
+    }
+    sim_.run();
+  }
+
+  sim::Simulation& sim() { return sim_; }
+
+ private:
+  sim::Simulation sim_;
+  std::unique_ptr<Ring> ring_;
+  std::vector<std::function<void(sim::Process&, Endpoint&)>> bodies_;
+  Config cfg_;
+};
+
+std::vector<u8> make_msg(usize n, u32 seed) {
+  std::vector<u8> v(n);
+  fill_pattern(v, seed);
+  return v;
+}
+
+TEST(Bbp, PointToPointDeliversPayload) {
+  SimSession s(2);
+  const auto msg = make_msg(100, 7);
+  s.rank(0, [&](sim::Process&, Endpoint& ep) { ASSERT_TRUE(ep.send(1, msg).ok()); });
+  s.rank(1, [&](sim::Process&, Endpoint& ep) {
+    std::vector<u8> buf(128);
+    auto r = ep.recv(0, buf);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().src, 0u);
+    EXPECT_EQ(r.value().len, 100u);
+    EXPECT_EQ(r.value().copied, 100u);
+    EXPECT_FALSE(r.value().truncated);
+    EXPECT_TRUE(check_pattern(std::span<const u8>(buf.data(), 100), 7));
+  });
+  s.run();
+}
+
+TEST(Bbp, ZeroByteMessage) {
+  SimSession s(2);
+  s.rank(0, [&](sim::Process&, Endpoint& ep) { ASSERT_TRUE(ep.send(1, {}).ok()); });
+  s.rank(1, [&](sim::Process&, Endpoint& ep) {
+    std::vector<u8> buf(8);
+    auto r = ep.recv(0, buf);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().len, 0u);
+    EXPECT_EQ(r.value().copied, 0u);
+  });
+  s.run();
+}
+
+TEST(Bbp, FourByteLatencyNearPaperValue) {
+  // Paper: 4-byte one-way latency 7.8 us; 0-byte 6.5 us. Allow a band.
+  SimSession s(2);
+  SimTime sent_at = 0, recvd_at = 0;
+  const auto msg = make_msg(4, 3);
+  s.rank(0, [&](sim::Process& p, Endpoint& ep) {
+    sent_at = p.now();
+    ASSERT_TRUE(ep.send(1, msg).ok());
+  });
+  s.rank(1, [&](sim::Process& p, Endpoint& ep) {
+    std::vector<u8> buf(4);
+    ASSERT_TRUE(ep.recv(0, buf).ok());
+    recvd_at = p.now();
+  });
+  s.run();
+  const double oneway_us = to_us(recvd_at - sent_at);
+  EXPECT_GT(oneway_us, 5.0);
+  EXPECT_LT(oneway_us, 11.0);
+}
+
+TEST(Bbp, InOrderDeliveryFromOneSender) {
+  SimSession s(2);
+  constexpr int kN = 100;
+  s.rank(0, [&](sim::Process&, Endpoint& ep) {
+    for (int i = 0; i < kN; ++i) {
+      u32 v = static_cast<u32>(i);
+      ASSERT_TRUE(ep.send(1, std::span<const u8>(reinterpret_cast<u8*>(&v), 4)).ok());
+    }
+    ep.drain();
+  });
+  s.rank(1, [&](sim::Process&, Endpoint& ep) {
+    for (int i = 0; i < kN; ++i) {
+      u32 v = 0;
+      auto r = ep.recv(0, std::span<u8>(reinterpret_cast<u8*>(&v), 4));
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(v, static_cast<u32>(i)) << "out-of-order delivery";
+    }
+  });
+  s.run();
+}
+
+TEST(Bbp, McastReachesAllDestinations) {
+  SimSession s(4);
+  const auto msg = make_msg(64, 11);
+  s.rank(0, [&](sim::Process&, Endpoint& ep) {
+    const u32 dests[] = {1, 2, 3};
+    ASSERT_TRUE(ep.mcast(dests, msg).ok());
+    ep.drain();
+    EXPECT_EQ(ep.stats().mcasts, 1u);
+  });
+  for (u32 r = 1; r < 4; ++r) {
+    s.rank(r, [&](sim::Process&, Endpoint& ep) {
+      std::vector<u8> buf(64);
+      auto res = ep.recv(0, buf);
+      ASSERT_TRUE(res.ok());
+      EXPECT_TRUE(check_pattern(buf, 11));
+    });
+  }
+  s.run();
+}
+
+TEST(Bbp, McastSlotFreedOnlyAfterAllAcks) {
+  Config cfg;
+  cfg.slots = 2;  // tiny: forces reuse pressure
+  SimSession s(3, cfg);
+  s.rank(0, [&](sim::Process&, Endpoint& ep) {
+    const u32 dests[] = {1, 2};
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(ep.mcast(dests, make_msg(32, static_cast<u32>(i))).ok());
+    }
+    ep.drain();
+    EXPECT_EQ(ep.inflight(), 0u);
+  });
+  for (u32 r = 1; r < 3; ++r) {
+    s.rank(r, [&](sim::Process& p, Endpoint& ep) {
+      // Rank 2 delays to stagger acks.
+      if (ep.rank() == 2) p.delay(us(50));
+      std::vector<u8> buf(32);
+      for (int i = 0; i < 10; ++i) {
+        auto res = ep.recv(0, buf);
+        ASSERT_TRUE(res.ok());
+        EXPECT_TRUE(check_pattern(buf, static_cast<u32>(i)));
+      }
+    });
+  }
+  s.run();
+}
+
+TEST(Bbp, RecvAnyPicksUpBothSenders) {
+  SimSession s(3);
+  s.rank(0, [&](sim::Process&, Endpoint& ep) { ASSERT_TRUE(ep.send(2, make_msg(8, 1)).ok()); });
+  s.rank(1, [&](sim::Process& p, Endpoint& ep) {
+    p.delay(us(30));
+    ASSERT_TRUE(ep.send(2, make_msg(8, 2)).ok());
+  });
+  s.rank(2, [&](sim::Process&, Endpoint& ep) {
+    std::vector<u8> buf(8);
+    u32 seen_mask = 0;
+    for (int i = 0; i < 2; ++i) {
+      auto r = ep.recv_any(buf);
+      ASSERT_TRUE(r.ok());
+      EXPECT_TRUE(check_pattern(buf, r.value().src == 0 ? 1u : 2u));
+      seen_mask |= 1u << r.value().src;
+    }
+    EXPECT_EQ(seen_mask, 0b11u);
+  });
+  s.run();
+}
+
+TEST(Bbp, MsgAvailAndPeek) {
+  SimSession s(2);
+  s.rank(0, [&](sim::Process&, Endpoint& ep) { ASSERT_TRUE(ep.send(1, make_msg(24, 5)).ok()); });
+  s.rank(1, [&](sim::Process& p, Endpoint& ep) {
+    EXPECT_FALSE(ep.msg_avail_from(0));  // nothing yet at t=0... (almost surely)
+    p.delay(us(50));                     // let the message propagate
+    EXPECT_TRUE(ep.msg_avail_from(0));
+    auto src = ep.msg_avail();
+    ASSERT_TRUE(src.has_value());
+    EXPECT_EQ(*src, 0u);
+    auto len = ep.peek_len(0);
+    ASSERT_TRUE(len.has_value());
+    EXPECT_EQ(*len, 24u);
+    std::vector<u8> buf(24);
+    ASSERT_TRUE(ep.recv(0, buf).ok());
+    EXPECT_FALSE(ep.msg_avail().has_value());
+  });
+  s.run();
+}
+
+TEST(Bbp, TruncatedReceiveReportsFullLength) {
+  SimSession s(2);
+  s.rank(0, [&](sim::Process&, Endpoint& ep) { ASSERT_TRUE(ep.send(1, make_msg(100, 9)).ok()); });
+  s.rank(1, [&](sim::Process&, Endpoint& ep) {
+    std::vector<u8> buf(10);
+    auto r = ep.recv(0, buf);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().truncated);
+    EXPECT_EQ(r.value().len, 100u);
+    EXPECT_EQ(r.value().copied, 10u);
+    EXPECT_TRUE(check_pattern(std::span<const u8>(buf.data(), 10), 9));
+  });
+  s.run();
+}
+
+TEST(Bbp, TrySendReportsNoSpaceWhenReceiverStalls) {
+  Config cfg;
+  cfg.slots = 4;
+  SimSession s(2, cfg);
+  s.rank(0, [&](sim::Process&, Endpoint& ep) {
+    // Fill all 4 slots; 5th must fail (receiver never acks yet).
+    for (int i = 0; i < 4; ++i) ASSERT_TRUE(ep.try_send(1, make_msg(16, 1)).ok());
+    auto st = ep.try_send(1, make_msg(16, 1));
+    EXPECT_EQ(st.code(), StatusCode::kNoSpace);
+    EXPECT_EQ(ep.inflight(), 4u);
+  });
+  s.rank(1, [&](sim::Process& p, Endpoint& ep) {
+    p.delay(us(200));
+    std::vector<u8> buf(16);
+    for (int i = 0; i < 4; ++i) ASSERT_TRUE(ep.recv(0, buf).ok());
+  });
+  s.run();
+}
+
+TEST(Bbp, BlockingSendUnblocksAfterGc) {
+  Config cfg;
+  cfg.slots = 2;
+  SimSession s(2, cfg);
+  int sent = 0;
+  s.rank(0, [&](sim::Process&, Endpoint& ep) {
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(ep.send(1, make_msg(16, static_cast<u32>(i))).ok());
+      ++sent;
+    }
+    ep.drain();
+    EXPECT_GT(ep.stats().gc_runs, 0u);
+    EXPECT_GT(ep.stats().send_stalls, 0u);
+  });
+  s.rank(1, [&](sim::Process& p, Endpoint& ep) {
+    std::vector<u8> buf(16);
+    for (int i = 0; i < 8; ++i) {
+      p.delay(us(20));  // slow consumer forces sender stalls
+      ASSERT_TRUE(ep.recv(0, buf).ok());
+      EXPECT_TRUE(check_pattern(buf, static_cast<u32>(i)));
+    }
+  });
+  s.run();
+  EXPECT_EQ(sent, 8);
+}
+
+TEST(Bbp, DataPartitionExhaustionTriggersGc) {
+  Config cfg;
+  cfg.slots = 32;
+  RingConfig rcfg;
+  rcfg.bank_words = 2048;  // tiny banks: ~1KB data partition per process
+  SimSession s(2, cfg, rcfg);
+  s.rank(0, [&](sim::Process&, Endpoint& ep) {
+    const u32 cap = ep.layout().max_message_bytes();
+    ASSERT_GE(cap, 512u);
+    // Messages of ~1/3 capacity: the 4th send must wait for GC.
+    for (int i = 0; i < 6; ++i)
+      ASSERT_TRUE(ep.send(1, make_msg(cap / 3, static_cast<u32>(i))).ok());
+    ep.drain();
+  });
+  s.rank(1, [&](sim::Process& p, Endpoint& ep) {
+    std::vector<u8> buf(4096);
+    for (int i = 0; i < 6; ++i) {
+      p.delay(us(30));
+      auto r = ep.recv(0, buf);
+      ASSERT_TRUE(r.ok());
+      EXPECT_TRUE(check_pattern(std::span<const u8>(buf.data(), r.value().len),
+                                static_cast<u32>(i)));
+    }
+  });
+  s.run();
+}
+
+TEST(Bbp, SelfSendWorks) {
+  SimSession s(2);
+  s.rank(0, [&](sim::Process&, Endpoint& ep) {
+    ASSERT_TRUE(ep.send(0, make_msg(12, 4)).ok());
+    std::vector<u8> buf(12);
+    auto r = ep.recv(0, buf);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(check_pattern(buf, 4));
+  });
+  s.run();
+}
+
+TEST(Bbp, OversizeMessageRejected) {
+  SimSession s(2);
+  s.rank(0, [&](sim::Process&, Endpoint& ep) {
+    std::vector<u8> huge(ep.layout().max_message_bytes() + 4);
+    EXPECT_EQ(ep.send(1, huge).code(), StatusCode::kInvalidArg);
+  });
+  s.run();
+}
+
+TEST(Bbp, BadRanksRejected) {
+  SimSession s(2);
+  s.rank(0, [&](sim::Process&, Endpoint& ep) {
+    EXPECT_EQ(ep.send(9, make_msg(4, 1)).code(), StatusCode::kInvalidArg);
+    const u32 dests[] = {0u, 7u};
+    EXPECT_EQ(ep.mcast(dests, make_msg(4, 1)).code(), StatusCode::kInvalidArg);
+  });
+  s.run();
+}
+
+TEST(Bbp, PaperApiVeneer) {
+  sim::Simulation sim;
+  Ring ring(sim, RingConfig{.nodes = 2, .bank_words = 4096});
+  sim.spawn("rank0", [&](sim::Process& p) {
+    SimHostPort port(ring, 0, p);
+    Bbp bbp;
+    ASSERT_TRUE(bbp.init(port, 2, 0).ok());
+    EXPECT_FALSE(bbp.init(port, 2, 0).ok());  // double init rejected
+    const auto msg = make_msg(16, 2);
+    ASSERT_TRUE(bbp.Send(1, msg).ok());
+  });
+  sim.spawn("rank1", [&](sim::Process& p) {
+    SimHostPort port(ring, 1, p);
+    Bbp bbp;
+    ASSERT_TRUE(bbp.init(port, 2, 1).ok());
+    p.delay(us(30));
+    EXPECT_TRUE(bbp.MsgAvail());
+    std::vector<u8> buf(16);
+    auto r = bbp.Recv(0, buf);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(check_pattern(buf, 2));
+  });
+  sim.run();
+}
+
+TEST(Bbp, UninitializedApiReturnsUnavailable) {
+  Bbp bbp;
+  std::vector<u8> buf(4);
+  EXPECT_EQ(bbp.Send(0, buf).code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(bbp.MsgAvail());
+}
+
+// ---------------------------------------------------------------------------
+// Real-thread backends: the protocol logic must be correct under true
+// concurrency, not just under the deterministic simulator.
+// ---------------------------------------------------------------------------
+
+template <typename Backend, typename Port>
+void run_threaded_pingpong() {
+  Backend backend(2, 1u << 16);
+  constexpr int kIters = 200;
+  std::thread t0([&] {
+    Port port(backend, 0);
+    Endpoint ep(port, 2, 0);
+    std::vector<u8> buf(64);
+    for (int i = 0; i < kIters; ++i) {
+      ASSERT_TRUE(ep.send(1, make_msg(64, static_cast<u32>(i))).ok());
+      auto r = ep.recv(1, buf);
+      ASSERT_TRUE(r.ok());
+      ASSERT_TRUE(check_pattern(buf, static_cast<u32>(i) ^ 0xFFu));
+    }
+    ep.drain();
+  });
+  std::thread t1([&] {
+    Port port(backend, 1);
+    Endpoint ep(port, 2, 1);
+    std::vector<u8> buf(64);
+    for (int i = 0; i < kIters; ++i) {
+      auto r = ep.recv(0, buf);
+      ASSERT_TRUE(r.ok());
+      ASSERT_TRUE(check_pattern(buf, static_cast<u32>(i)));
+      ASSERT_TRUE(ep.send(0, make_msg(64, static_cast<u32>(i) ^ 0xFFu)).ok());
+    }
+    ep.drain();
+  });
+  t0.join();
+  t1.join();
+}
+
+TEST(BbpThreads, PingPongOnImmediateBackend) {
+  run_threaded_pingpong<scramnet::ThreadBackend, scramnet::ThreadPort>();
+}
+
+TEST(BbpThreads, PingPongOnDelayedBackend) {
+  run_threaded_pingpong<scramnet::DelayedThreadBackend, scramnet::DelayedThreadPort>();
+}
+
+TEST(BbpThreads, ManyToOneStress) {
+  scramnet::DelayedThreadBackend backend(4, 1u << 16);
+  constexpr int kPerSender = 300;
+  std::vector<std::thread> senders;
+  for (u32 s = 1; s < 4; ++s) {
+    senders.emplace_back([&backend, s] {
+      scramnet::DelayedThreadPort port(backend, s);
+      Endpoint ep(port, 4, s);
+      for (int i = 0; i < kPerSender; ++i) {
+        u32 v = (s << 24) | static_cast<u32>(i);
+        ASSERT_TRUE(ep.send(0, std::span<const u8>(reinterpret_cast<u8*>(&v), 4)).ok());
+      }
+      ep.drain();
+    });
+  }
+  std::vector<u32> next(4, 0);
+  {
+    scramnet::DelayedThreadPort port(backend, 0);
+    Endpoint ep(port, 4, 0);
+    std::vector<u8> buf(4);
+    for (int n = 0; n < 3 * kPerSender; ++n) {
+      auto r = ep.recv_any(buf);
+      ASSERT_TRUE(r.ok());
+      u32 v;
+      std::memcpy(&v, buf.data(), 4);
+      const u32 s = v >> 24;
+      const u32 i = v & 0xFFFFFF;
+      EXPECT_EQ(s, r.value().src);
+      EXPECT_EQ(i, next[s]) << "per-sender FIFO violated";
+      next[s] = i + 1;
+    }
+  }
+  for (auto& t : senders) t.join();
+  for (u32 s = 1; s < 4; ++s) EXPECT_EQ(next[s], kPerSender);
+}
+
+TEST(BbpThreads, McastFanoutOnDelayedBackend) {
+  scramnet::DelayedThreadBackend backend(4, 1u << 16);
+  constexpr int kMsgs = 100;
+  std::thread root([&] {
+    scramnet::DelayedThreadPort port(backend, 0);
+    Endpoint ep(port, 4, 0);
+    const u32 dests[] = {1, 2, 3};
+    for (int i = 0; i < kMsgs; ++i)
+      ASSERT_TRUE(ep.mcast(dests, make_msg(32, static_cast<u32>(i))).ok());
+    ep.drain();
+  });
+  std::vector<std::thread> leaves;
+  std::atomic<int> ok_count{0};
+  for (u32 r = 1; r < 4; ++r) {
+    leaves.emplace_back([&backend, &ok_count, r] {
+      scramnet::DelayedThreadPort port(backend, r);
+      Endpoint ep(port, 4, r);
+      std::vector<u8> buf(32);
+      for (int i = 0; i < kMsgs; ++i) {
+        auto res = ep.recv(0, buf);
+        ASSERT_TRUE(res.ok());
+        ASSERT_TRUE(check_pattern(buf, static_cast<u32>(i)));
+      }
+      ok_count.fetch_add(1);
+    });
+  }
+  root.join();
+  for (auto& t : leaves) t.join();
+  EXPECT_EQ(ok_count.load(), 3);
+}
+
+}  // namespace
+}  // namespace scrnet::bbp

@@ -1,0 +1,176 @@
+// Tests for the common utility layer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/bytes.h"
+#include "common/chart.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/table.h"
+#include "common/types.h"
+#include "common/units.h"
+
+namespace scrnet {
+namespace {
+
+TEST(Types, WordMath) {
+  EXPECT_EQ(words_for_bytes(0), 0u);
+  EXPECT_EQ(words_for_bytes(1), 1u);
+  EXPECT_EQ(words_for_bytes(4), 1u);
+  EXPECT_EQ(words_for_bytes(5), 2u);
+  EXPECT_EQ(words_for_bytes(1024), 256u);
+  EXPECT_EQ(align_up(5, 4), 8u);
+  EXPECT_EQ(align_up(8, 4), 8u);
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(8, 2), 4);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(us(1), 1'000'000);
+  EXPECT_EQ(ns(1000), us(1));
+  EXPECT_DOUBLE_EQ(to_us(us(250)), 250.0);
+  // 6.5 MB/s -> 4 bytes in ~615 ns.
+  EXPECT_NEAR(to_ns(transfer_time(4, 6.5)), 615.4, 0.1);
+  // 100 Mb/s -> 1000 bits in 10 us.
+  EXPECT_NEAR(to_us(wire_time_bits(1000, 100.0)), 10.0, 1e-9);
+}
+
+TEST(Status, CodesAndMessages) {
+  EXPECT_TRUE(Status::Ok().ok());
+  const Status s = Status::NoSpace("partition full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNoSpace);
+  EXPECT_EQ(s.to_string(), "NO_SPACE: partition full");
+  EXPECT_EQ(Status::Truncated(), Status::Truncated("other msg"));  // code equality
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_TRUE(ok.status().ok());
+
+  Result<int> err(Status::NotFound());
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.value_or(7), 7);
+}
+
+TEST(Rng, DeterministicAndSeedSensitive) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 10; ++i)
+    if (a2() != c()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowIsInRangeAndRoughlyUniform) {
+  Rng r(7);
+  std::vector<u32> buckets(10, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const u64 v = r.below(10);
+    ASSERT_LT(v, 10u);
+    ++buckets[v];
+  }
+  for (u32 b : buckets) {
+    EXPECT_GT(b, kN / 10 * 0.9);
+    EXPECT_LT(b, kN / 10 * 1.1);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Stats, WelfordMatchesClosedForm) {
+  RunningStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_NEAR(s.variance(), 841.666, 0.01);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 100.0);
+}
+
+TEST(Stats, SamplesPercentiles) {
+  Samples s;
+  for (int i = 100; i >= 1; --i) s.add(i);  // unsorted insert
+  EXPECT_DOUBLE_EQ(s.median(), 50.5);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.01);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(Bytes, PackUnpackRoundTrip) {
+  for (usize n : {0u, 1u, 3u, 4u, 5u, 100u, 1023u}) {
+    std::vector<u8> in(n);
+    fill_pattern(in, static_cast<u32>(n));
+    const auto words = pack_words(in);
+    EXPECT_EQ(words.size(), words_for_bytes(static_cast<u32>(n)));
+    const auto out = unpack_bytes(words, n);
+    EXPECT_EQ(in, out);
+  }
+}
+
+TEST(Bytes, PatternCheckCatchesCorruption) {
+  std::vector<u8> buf(64);
+  fill_pattern(buf, 5);
+  EXPECT_TRUE(check_pattern(buf, 5));
+  EXPECT_FALSE(check_pattern(buf, 6));
+  buf[33] ^= 1;
+  EXPECT_FALSE(check_pattern(buf, 5));
+}
+
+TEST(Chart, RendersSeriesAndLegend) {
+  AsciiChart c("test chart", "x", "y", 40, 10);
+  c.add_series("up", 'U', {0, 10, 20}, {1, 5, 9});
+  c.add_series("down", 'D', {0, 10, 20}, {9, 5, 1});
+  std::ostringstream os;
+  c.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("test chart"), std::string::npos);
+  EXPECT_NE(out.find('U'), std::string::npos);
+  EXPECT_NE(out.find('D'), std::string::npos);
+  EXPECT_NE(out.find("U = up"), std::string::npos);
+  // 11 grid rows + frame lines.
+  EXPECT_GT(std::count(out.begin(), out.end(), '\n'), 12);
+}
+
+TEST(Chart, EmptyAndDegenerateInputsAreSafe) {
+  std::ostringstream os;
+  AsciiChart empty("e", "x", "y");
+  empty.print(os);                       // no series: prints nothing
+  EXPECT_TRUE(os.str().empty());
+  AsciiChart flat("f", "x", "y", 20, 5);
+  flat.add_series("s", 'S', {5}, {0});   // single point, zero range
+  flat.print(os);
+  EXPECT_NE(os.str().find('S'), std::string::npos);
+}
+
+TEST(Table, AlignedAndCsvOutput) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", Table::num(1.5)});
+  t.add_row({"b", "22"});
+  std::ostringstream txt, csv;
+  t.print(txt);
+  t.print_csv(csv);
+  EXPECT_NE(txt.str().find("alpha"), std::string::npos);
+  EXPECT_NE(txt.str().find("|"), std::string::npos);
+  EXPECT_EQ(csv.str(), "name,value\nalpha,1.50\nb,22\n");
+}
+
+}  // namespace
+}  // namespace scrnet

@@ -1,0 +1,295 @@
+// Tests for the shared-memory synchronization library (scrshm): Lamport
+// bakery mutex, dissemination barrier and single-writer seqlock on
+// non-coherent replicated memory -- under the deterministic simulator and
+// under real threads with asynchronous replication.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "scramnet/ring.h"
+#include "scramnet/sim_port.h"
+#include "scramnet/thread_backend.h"
+#include "scrshm/barrier.h"
+#include "scrshm/mutex.h"
+#include "scrshm/seqlock.h"
+
+namespace scrnet::scrshm {
+namespace {
+
+using scramnet::Ring;
+using scramnet::RingConfig;
+using scramnet::SimHostPort;
+
+TEST(Arena, AllocatesAlignedAndBounds) {
+  Arena a(100, 20);
+  EXPECT_EQ(a.alloc(3), 100u);
+  EXPECT_EQ(a.alloc(1, 4), 104u);
+  EXPECT_EQ(a.remaining(), 15u);
+  EXPECT_THROW(a.alloc(100), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// BakeryMutex
+// ---------------------------------------------------------------------------
+
+class BakeryProcsTest : public ::testing::TestWithParam<u32> {};
+INSTANTIATE_TEST_SUITE_P(Procs, BakeryProcsTest, ::testing::Values(2u, 3u, 5u),
+                         [](const auto& ti) { return "n" + std::to_string(ti.param); });
+
+TEST_P(BakeryProcsTest, MutualExclusionInSim) {
+  const u32 n = GetParam();
+  constexpr int kIters = 15;
+  sim::Simulation sim;
+  Ring ring(sim, RingConfig{.nodes = n, .bank_words = 4096});
+  int in_cs = 0, max_in_cs = 0, total = 0;
+  for (u32 id = 0; id < n; ++id) {
+    sim.spawn("p" + std::to_string(id), [&, id](sim::Process& p) {
+      SimHostPort port(ring, id, p);
+      Arena arena(0, 256);
+      BakeryMutex mu(port, arena, n, id);
+      for (int i = 0; i < kIters; ++i) {
+        mu.lock();
+        ++in_cs;
+        if (in_cs > max_in_cs) max_in_cs = in_cs;
+        // Dwell in the critical section across several event boundaries so
+        // an exclusion violation would be observable.
+        p.delay(us(3));
+        ++total;
+        --in_cs;
+        mu.unlock();
+        p.delay(us(1) * ((id * 7 + static_cast<u32>(i)) % 5));  // jitter
+      }
+    });
+  }
+  sim.run();
+  EXPECT_EQ(max_in_cs, 1) << "two processes were in the critical section";
+  EXPECT_EQ(total, static_cast<int>(n) * kIters);
+}
+
+TEST(Bakery, MutualExclusionOnRealThreads) {
+  constexpr u32 kN = 4;
+  constexpr int kIters = 150;
+  scramnet::DelayedThreadBackend backend(kN, 4096);
+  std::atomic<int> in_cs{0};
+  std::atomic<int> violations{0};
+  long counter = 0;  // plain long: torn updates would show without the lock
+  std::vector<std::thread> ts;
+  for (u32 id = 0; id < kN; ++id) {
+    ts.emplace_back([&, id] {
+      scramnet::DelayedThreadPort port(backend, id);
+      Arena arena(0, 256);
+      BakeryMutex mu(port, arena, kN, id);
+      for (int i = 0; i < kIters; ++i) {
+        mu.lock();
+        if (in_cs.fetch_add(1) != 0) violations.fetch_add(1);
+        counter = counter + 1;  // intentionally non-atomic
+        in_cs.fetch_sub(1);
+        mu.unlock();
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(counter, kN * kIters);
+}
+
+TEST(Bakery, HandoffIsFifoByTicket) {
+  // Two processes contend; tickets must alternate once both are active --
+  // the bakery's bounded-bypass property.
+  sim::Simulation sim;
+  Ring ring(sim, RingConfig{.nodes = 2, .bank_words = 4096});
+  std::vector<u32> order;
+  for (u32 id = 0; id < 2; ++id) {
+    sim.spawn("p" + std::to_string(id), [&, id](sim::Process& p) {
+      SimHostPort port(ring, id, p);
+      Arena arena(0, 64);
+      BakeryMutex mu(port, arena, 2, id);
+      for (int i = 0; i < 6; ++i) {
+        mu.lock();
+        order.push_back(id);
+        p.delay(us(5));
+        mu.unlock();
+        p.delay(us(2));
+      }
+    });
+  }
+  sim.run();
+  // After the initial acquisition, no process may win 3+ times in a row
+  // while the other is waiting (bakery grants in ticket order).
+  int run = 1;
+  int worst = 1;
+  for (usize i = 1; i < order.size(); ++i) {
+    run = (order[i] == order[i - 1]) ? run + 1 : 1;
+    worst = std::max(worst, run);
+  }
+  EXPECT_LE(worst, 2);
+}
+
+// ---------------------------------------------------------------------------
+// DisseminationBarrier
+// ---------------------------------------------------------------------------
+
+class BarrierProcsTest : public ::testing::TestWithParam<u32> {};
+INSTANTIATE_TEST_SUITE_P(Procs, BarrierProcsTest, ::testing::Values(2u, 3u, 4u, 7u, 8u),
+                         [](const auto& ti) { return "n" + std::to_string(ti.param); });
+
+TEST_P(BarrierProcsTest, NoProcessEntersNextPhaseEarly) {
+  const u32 n = GetParam();
+  constexpr u32 kPhases = 8;
+  sim::Simulation sim;
+  Ring ring(sim, RingConfig{.nodes = n, .bank_words = 4096});
+  std::vector<u32> arrived(kPhases, 0);
+  bool ok = true;
+  for (u32 id = 0; id < n; ++id) {
+    sim.spawn("p" + std::to_string(id), [&, id](sim::Process& p) {
+      SimHostPort port(ring, id, p);
+      Arena arena(0, 1024);
+      DisseminationBarrier bar(port, arena, n, id);
+      for (u32 phase = 0; phase < kPhases; ++phase) {
+        // Every process must still be in `phase` when I am: nobody may have
+        // advanced past it before all arrived.
+        p.delay(us(1) * ((id * 13 + phase * 7) % 9));  // skew arrivals
+        ++arrived[phase];
+        bar.wait();
+        if (arrived[phase] != n) ok = false;  // someone left early
+      }
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(Barrier, WorksOnRealThreads) {
+  constexpr u32 kN = 4;
+  constexpr u32 kPhases = 40;
+  scramnet::DelayedThreadBackend backend(kN, 4096);
+  std::atomic<u32> arrivals[kPhases];
+  for (auto& a : arrivals) a.store(0);
+  std::atomic<int> errors{0};
+  std::vector<std::thread> ts;
+  for (u32 id = 0; id < kN; ++id) {
+    ts.emplace_back([&, id] {
+      scramnet::DelayedThreadPort port(backend, id);
+      Arena arena(0, 1024);
+      DisseminationBarrier bar(port, arena, kN, id);
+      for (u32 phase = 0; phase < kPhases; ++phase) {
+        arrivals[phase].fetch_add(1);
+        bar.wait();
+        if (arrivals[phase].load() != kN) errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// SeqLock
+// ---------------------------------------------------------------------------
+
+TEST(SeqLock, SnapshotsAreNeverTorn) {
+  sim::Simulation sim;
+  Ring ring(sim, RingConfig{.nodes = 3, .bank_words = 4096});
+  constexpr u32 kWords = 8;
+  constexpr u32 kVersions = 40;
+  u64 snapshots_taken = 0;
+  sim.spawn("writer", [&](sim::Process& p) {
+    SimHostPort port(ring, 0, p);
+    Arena arena(0, 64);
+    SeqLock sl(port, arena, kWords, 0);
+    for (u32 v = 1; v <= kVersions; ++v) {
+      std::vector<u32> data(kWords);
+      for (u32 w = 0; w < kWords; ++w) data[w] = v * 1000 + w;  // self-checking
+      sl.publish(data);
+      p.delay(us(7));
+    }
+  });
+  for (u32 id = 1; id < 3; ++id) {
+    sim.spawn("reader" + std::to_string(id), [&, id](sim::Process& p) {
+      SimHostPort port(ring, id, p);
+      Arena arena(0, 64);
+      SeqLock sl(port, arena, kWords, 0);
+      u32 last_version = 0;
+      for (u32 i = 0; i < kVersions; ++i) {
+        std::vector<u32> out(kWords);
+        const u32 ver = sl.snapshot(out);
+        if (ver == 0) {  // nothing published yet
+          p.delay(us(3));
+          continue;
+        }
+        // Internal consistency: all words from one publication.
+        const u32 v = out[0] / 1000;
+        for (u32 w = 0; w < kWords; ++w)
+          ASSERT_EQ(out[w], v * 1000 + w) << "torn snapshot";
+        ASSERT_GE(ver, last_version) << "version went backwards";
+        last_version = ver;
+        ++snapshots_taken;
+        p.delay(us(5));
+      }
+    });
+  }
+  sim.run();
+  EXPECT_GT(snapshots_taken, 20u);
+}
+
+TEST(SeqLock, TornReadsWouldHappenWithoutIt) {
+  // Control experiment: read the same multi-word record without the
+  // seqlock protocol while the writer is mid-update -- the reader must be
+  // able to observe a torn state (this validates the test methodology).
+  sim::Simulation sim;
+  Ring ring(sim, RingConfig{.nodes = 2, .bank_words = 4096});
+  bool saw_torn = false;
+  sim.spawn("writer", [&](sim::Process& p) {
+    SimHostPort port(ring, 0, p);
+    for (u32 v = 1; v <= 30; ++v) {
+      // Write words one by one (no protocol): window for torn reads.
+      for (u32 w = 0; w < 8; ++w) {
+        port.write_u32(100 + w, v * 1000 + w);
+        p.delay(us(2));
+      }
+    }
+  });
+  sim.spawn("reader", [&](sim::Process& p) {
+    SimHostPort port(ring, 1, p);
+    for (int i = 0; i < 200 && !saw_torn; ++i) {
+      u32 first = port.read_u32(100);
+      u32 last = port.read_u32(107);
+      if (first != 0 && last != 0 && first / 1000 != last / 1000) saw_torn = true;
+      p.delay(us(3));
+    }
+  });
+  sim.run();
+  EXPECT_TRUE(saw_torn);
+}
+
+TEST(SeqLock, VersionProbeAdvances) {
+  sim::Simulation sim;
+  Ring ring(sim, RingConfig{.nodes = 2, .bank_words = 4096});
+  sim.spawn("writer", [&](sim::Process& p) {
+    SimHostPort port(ring, 0, p);
+    Arena arena(0, 32);
+    SeqLock sl(port, arena, 2, 0);
+    const u32 d1[2] = {1, 2};
+    sl.publish(d1);
+    p.delay(us(50));
+    const u32 d2[2] = {3, 4};
+    sl.publish(d2);
+  });
+  sim.spawn("reader", [&](sim::Process& p) {
+    SimHostPort port(ring, 1, p);
+    Arena arena(0, 32);
+    SeqLock sl(port, arena, 2, 0);
+    p.delay(us(25));
+    const u32 v1 = sl.version();
+    p.delay(us(60));
+    const u32 v2 = sl.version();
+    EXPECT_GT(v2, v1);
+    EXPECT_EQ(v1, 2u);
+    EXPECT_EQ(v2, 4u);
+  });
+  sim.run();
+}
+
+}  // namespace
+}  // namespace scrnet::scrshm
