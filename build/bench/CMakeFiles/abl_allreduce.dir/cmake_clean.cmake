@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_allreduce.dir/abl_allreduce.cc.o"
+  "CMakeFiles/abl_allreduce.dir/abl_allreduce.cc.o.d"
+  "abl_allreduce"
+  "abl_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_channel_interface.dir/abl_channel_interface.cc.o"
+  "CMakeFiles/abl_channel_interface.dir/abl_channel_interface.cc.o.d"
+  "abl_channel_interface"
+  "abl_channel_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_channel_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

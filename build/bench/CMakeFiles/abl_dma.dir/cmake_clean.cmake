@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dma.dir/abl_dma.cc.o"
+  "CMakeFiles/abl_dma.dir/abl_dma.cc.o.d"
+  "abl_dma"
+  "abl_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ethernet_switch.dir/abl_ethernet_switch.cc.o"
+  "CMakeFiles/abl_ethernet_switch.dir/abl_ethernet_switch.cc.o.d"
+  "abl_ethernet_switch"
+  "abl_ethernet_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ethernet_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_interrupt_recv.cc" "bench/CMakeFiles/abl_interrupt_recv.dir/abl_interrupt_recv.cc.o" "gcc" "bench/CMakeFiles/abl_interrupt_recv.dir/abl_interrupt_recv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/scrnet_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/scrmpi/CMakeFiles/scrnet_scrmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/bbp/CMakeFiles/scrnet_bbp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodels/CMakeFiles/scrnet_netmodels.dir/DependInfo.cmake"
+  "/root/repo/build/src/scramnet/CMakeFiles/scrnet_scramnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scrnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

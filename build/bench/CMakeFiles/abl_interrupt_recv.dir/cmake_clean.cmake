@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_interrupt_recv.dir/abl_interrupt_recv.cc.o"
+  "CMakeFiles/abl_interrupt_recv.dir/abl_interrupt_recv.cc.o.d"
+  "abl_interrupt_recv"
+  "abl_interrupt_recv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_interrupt_recv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

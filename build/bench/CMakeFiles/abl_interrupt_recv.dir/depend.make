@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_interrupt_recv.
+# This may be replaced when dependencies are built.

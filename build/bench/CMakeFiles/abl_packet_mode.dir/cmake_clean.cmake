@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_packet_mode.dir/abl_packet_mode.cc.o"
+  "CMakeFiles/abl_packet_mode.dir/abl_packet_mode.cc.o.d"
+  "abl_packet_mode"
+  "abl_packet_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_packet_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

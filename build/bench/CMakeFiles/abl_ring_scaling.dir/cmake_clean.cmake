@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ring_scaling.dir/abl_ring_scaling.cc.o"
+  "CMakeFiles/abl_ring_scaling.dir/abl_ring_scaling.cc.o.d"
+  "abl_ring_scaling"
+  "abl_ring_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ring_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_api_networks.dir/fig2_api_networks.cc.o"
+  "CMakeFiles/fig2_api_networks.dir/fig2_api_networks.cc.o.d"
+  "fig2_api_networks"
+  "fig2_api_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_api_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

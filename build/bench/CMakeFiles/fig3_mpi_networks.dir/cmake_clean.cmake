@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mpi_networks.dir/fig3_mpi_networks.cc.o"
+  "CMakeFiles/fig3_mpi_networks.dir/fig3_mpi_networks.cc.o.d"
+  "fig3_mpi_networks"
+  "fig3_mpi_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mpi_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

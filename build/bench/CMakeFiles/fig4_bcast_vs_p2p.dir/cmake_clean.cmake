@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_bcast_vs_p2p.dir/fig4_bcast_vs_p2p.cc.o"
+  "CMakeFiles/fig4_bcast_vs_p2p.dir/fig4_bcast_vs_p2p.cc.o.d"
+  "fig4_bcast_vs_p2p"
+  "fig4_bcast_vs_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_bcast_vs_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_mpi_bcast.dir/fig5_mpi_bcast.cc.o"
+  "CMakeFiles/fig5_mpi_bcast.dir/fig5_mpi_bcast.cc.o.d"
+  "fig5_mpi_bcast"
+  "fig5_mpi_bcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_mpi_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_ring_throughput.dir/tbl_ring_throughput.cc.o"
+  "CMakeFiles/tbl_ring_throughput.dir/tbl_ring_throughput.cc.o.d"
+  "tbl_ring_throughput"
+  "tbl_ring_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_ring_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

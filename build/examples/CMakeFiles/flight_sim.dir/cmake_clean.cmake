@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flight_sim.dir/flight_sim.cpp.o"
+  "CMakeFiles/flight_sim.dir/flight_sim.cpp.o.d"
+  "flight_sim"
+  "flight_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flight_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_cluster.dir/hybrid_cluster.cpp.o"
+  "CMakeFiles/hybrid_cluster.dir/hybrid_cluster.cpp.o.d"
+  "hybrid_cluster"
+  "hybrid_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_coordination.dir/shm_coordination.cpp.o"
+  "CMakeFiles/shm_coordination.dir/shm_coordination.cpp.o.d"
+  "shm_coordination"
+  "shm_coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrnet_bbp.dir/endpoint.cc.o"
+  "CMakeFiles/scrnet_bbp.dir/endpoint.cc.o.d"
+  "libscrnet_bbp.a"
+  "libscrnet_bbp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrnet_bbp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrnet_harness.dir/benchops.cc.o"
+  "CMakeFiles/scrnet_harness.dir/benchops.cc.o.d"
+  "CMakeFiles/scrnet_harness.dir/cluster.cc.o"
+  "CMakeFiles/scrnet_harness.dir/cluster.cc.o.d"
+  "libscrnet_harness.a"
+  "libscrnet_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrnet_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netmodels/atm.cc" "src/netmodels/CMakeFiles/scrnet_netmodels.dir/atm.cc.o" "gcc" "src/netmodels/CMakeFiles/scrnet_netmodels.dir/atm.cc.o.d"
+  "/root/repo/src/netmodels/ethernet.cc" "src/netmodels/CMakeFiles/scrnet_netmodels.dir/ethernet.cc.o" "gcc" "src/netmodels/CMakeFiles/scrnet_netmodels.dir/ethernet.cc.o.d"
+  "/root/repo/src/netmodels/myrinet.cc" "src/netmodels/CMakeFiles/scrnet_netmodels.dir/myrinet.cc.o" "gcc" "src/netmodels/CMakeFiles/scrnet_netmodels.dir/myrinet.cc.o.d"
+  "/root/repo/src/netmodels/tcp.cc" "src/netmodels/CMakeFiles/scrnet_netmodels.dir/tcp.cc.o" "gcc" "src/netmodels/CMakeFiles/scrnet_netmodels.dir/tcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/scrnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrnet_netmodels.dir/atm.cc.o"
+  "CMakeFiles/scrnet_netmodels.dir/atm.cc.o.d"
+  "CMakeFiles/scrnet_netmodels.dir/ethernet.cc.o"
+  "CMakeFiles/scrnet_netmodels.dir/ethernet.cc.o.d"
+  "CMakeFiles/scrnet_netmodels.dir/myrinet.cc.o"
+  "CMakeFiles/scrnet_netmodels.dir/myrinet.cc.o.d"
+  "CMakeFiles/scrnet_netmodels.dir/tcp.cc.o"
+  "CMakeFiles/scrnet_netmodels.dir/tcp.cc.o.d"
+  "libscrnet_netmodels.a"
+  "libscrnet_netmodels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrnet_netmodels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

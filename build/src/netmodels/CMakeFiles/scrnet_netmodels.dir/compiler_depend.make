@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scrnet_netmodels.
+# This may be replaced when dependencies are built.

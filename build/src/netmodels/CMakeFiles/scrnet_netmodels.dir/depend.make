@@ -1,0 +1,2 @@
+# Empty dependencies file for scrnet_netmodels.
+# This may be replaced when dependencies are built.

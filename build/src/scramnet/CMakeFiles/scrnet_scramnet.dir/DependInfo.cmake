@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scramnet/hierarchy.cc" "src/scramnet/CMakeFiles/scrnet_scramnet.dir/hierarchy.cc.o" "gcc" "src/scramnet/CMakeFiles/scrnet_scramnet.dir/hierarchy.cc.o.d"
+  "/root/repo/src/scramnet/ring.cc" "src/scramnet/CMakeFiles/scrnet_scramnet.dir/ring.cc.o" "gcc" "src/scramnet/CMakeFiles/scrnet_scramnet.dir/ring.cc.o.d"
+  "/root/repo/src/scramnet/thread_backend.cc" "src/scramnet/CMakeFiles/scrnet_scramnet.dir/thread_backend.cc.o" "gcc" "src/scramnet/CMakeFiles/scrnet_scramnet.dir/thread_backend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/scrnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

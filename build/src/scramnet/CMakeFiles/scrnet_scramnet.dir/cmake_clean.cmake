@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrnet_scramnet.dir/hierarchy.cc.o"
+  "CMakeFiles/scrnet_scramnet.dir/hierarchy.cc.o.d"
+  "CMakeFiles/scrnet_scramnet.dir/ring.cc.o"
+  "CMakeFiles/scrnet_scramnet.dir/ring.cc.o.d"
+  "CMakeFiles/scrnet_scramnet.dir/thread_backend.cc.o"
+  "CMakeFiles/scrnet_scramnet.dir/thread_backend.cc.o.d"
+  "libscrnet_scramnet.a"
+  "libscrnet_scramnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrnet_scramnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

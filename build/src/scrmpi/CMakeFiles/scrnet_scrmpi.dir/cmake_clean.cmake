@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrnet_scrmpi.dir/adi.cc.o"
+  "CMakeFiles/scrnet_scrmpi.dir/adi.cc.o.d"
+  "CMakeFiles/scrnet_scrmpi.dir/ch_bbp.cc.o"
+  "CMakeFiles/scrnet_scrmpi.dir/ch_bbp.cc.o.d"
+  "CMakeFiles/scrnet_scrmpi.dir/ch_hybrid.cc.o"
+  "CMakeFiles/scrnet_scrmpi.dir/ch_hybrid.cc.o.d"
+  "CMakeFiles/scrnet_scrmpi.dir/ch_sock.cc.o"
+  "CMakeFiles/scrnet_scrmpi.dir/ch_sock.cc.o.d"
+  "CMakeFiles/scrnet_scrmpi.dir/mpi.cc.o"
+  "CMakeFiles/scrnet_scrmpi.dir/mpi.cc.o.d"
+  "libscrnet_scrmpi.a"
+  "libscrnet_scrmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrnet_scrmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

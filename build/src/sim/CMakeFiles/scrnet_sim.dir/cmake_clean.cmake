@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrnet_sim.dir/simulation.cc.o"
+  "CMakeFiles/scrnet_sim.dir/simulation.cc.o.d"
+  "libscrnet_sim.a"
+  "libscrnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscrnet_sim.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adi_test.dir/adi_test.cc.o"
+  "CMakeFiles/adi_test.dir/adi_test.cc.o.d"
+  "adi_test"
+  "adi_test.pdb"
+  "adi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbp_interrupt_test.dir/bbp_interrupt_test.cc.o"
+  "CMakeFiles/bbp_interrupt_test.dir/bbp_interrupt_test.cc.o.d"
+  "bbp_interrupt_test"
+  "bbp_interrupt_test.pdb"
+  "bbp_interrupt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbp_interrupt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbp_property_test.dir/bbp_property_test.cc.o"
+  "CMakeFiles/bbp_property_test.dir/bbp_property_test.cc.o.d"
+  "bbp_property_test"
+  "bbp_property_test.pdb"
+  "bbp_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbp_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netmodels_contention_test.dir/netmodels_contention_test.cc.o"
+  "CMakeFiles/netmodels_contention_test.dir/netmodels_contention_test.cc.o.d"
+  "netmodels_contention_test"
+  "netmodels_contention_test.pdb"
+  "netmodels_contention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netmodels_contention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

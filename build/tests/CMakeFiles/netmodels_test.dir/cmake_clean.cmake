@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netmodels_test.dir/netmodels_test.cc.o"
+  "CMakeFiles/netmodels_test.dir/netmodels_test.cc.o.d"
+  "netmodels_test"
+  "netmodels_test.pdb"
+  "netmodels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netmodels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrshm_test.dir/scrshm_test.cc.o"
+  "CMakeFiles/scrshm_test.dir/scrshm_test.cc.o.d"
+  "scrshm_test"
+  "scrshm_test.pdb"
+  "scrshm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrshm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

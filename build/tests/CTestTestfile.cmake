@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/ring_test[1]_include.cmake")
+include("/root/repo/build/tests/bbp_test[1]_include.cmake")
+include("/root/repo/build/tests/netmodels_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/bbp_property_test[1]_include.cmake")
+include("/root/repo/build/tests/bbp_interrupt_test[1]_include.cmake")
+include("/root/repo/build/tests/hybrid_test[1]_include.cmake")
+include("/root/repo/build/tests/adi_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_threads_test[1]_include.cmake")
+include("/root/repo/build/tests/scrshm_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/hierarchy_test[1]_include.cmake")
+include("/root/repo/build/tests/dma_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/netmodels_contention_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_stress_test[1]_include.cmake")
