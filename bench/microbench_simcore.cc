@@ -14,8 +14,35 @@ namespace {
 
 using namespace scrnet;
 
-/// Raw event throughput of the DES kernel.
+/// Raw event throughput of the DES kernel, posting the way device models
+/// do: a small trivially-copyable functor that fits the queue's inline
+/// event buffer, so the whole post/step cycle is allocation-free.
 void BM_SimKernelEvents(benchmark::State& state) {
+  const int chain = static_cast<int>(state.range(0));
+  u64 events = 0;
+  struct Tick {
+    sim::Simulation* sim;
+    int* remaining;
+    void operator()() const {
+      if (--*remaining > 0) sim->post(ns(10), *this);
+    }
+  };
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int remaining = chain;
+    sim.post(ns(10), Tick{&sim, &remaining});
+    sim.run();
+    events += sim.events_executed();
+  }
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimKernelEvents)->Arg(1000)->Arg(100000);
+
+/// Same chain through a type-erased std::function, the only idiom the old
+/// priority-queue kernel supported (each post paid a heap-allocated copy).
+/// Kept to track the legacy path's trajectory.
+void BM_SimKernelEventsErased(benchmark::State& state) {
   const int chain = static_cast<int>(state.range(0));
   u64 events = 0;
   for (auto _ : state) {
@@ -31,7 +58,38 @@ void BM_SimKernelEvents(benchmark::State& state) {
   state.counters["events/s"] =
       benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_SimKernelEvents)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_SimKernelEventsErased)->Arg(100000);
+
+/// Queue churn with many outstanding events: every handler reposts itself
+/// at a pseudo-random future delay, so the calendar's buckets and overflow
+/// heap both stay loaded. Arg = events kept in flight (old kernel: O(log n)
+/// per op on a 48-byte-element binary heap; calendar: O(1) bucket append).
+void BM_SimQueueChurn(benchmark::State& state) {
+  const int outstanding = static_cast<int>(state.range(0));
+  constexpr int kRounds = 16;
+  u64 events = 0;
+  struct Churn {
+    sim::Simulation* sim;
+    u32 lcg;
+    int remaining;
+    void operator()() {
+      if (--remaining <= 0) return;
+      lcg = lcg * 1664525u + 1013904223u;
+      // Mix near-bucket delays with beyond-horizon ones (up to ~67 us).
+      sim->post(ps(1 + (lcg >> 6) % 67'000'000), *this);
+    }
+  };
+  for (auto _ : state) {
+    sim::Simulation sim;
+    for (int i = 0; i < outstanding; ++i)
+      sim.post(ns(10 + i), Churn{&sim, static_cast<u32>(i) * 2654435761u, kRounds});
+    sim.run();
+    events += sim.events_executed();
+  }
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimQueueChurn)->Arg(1000)->Arg(10000);
 
 /// Process context-switch cost (delay -> kernel -> resume round trip).
 void BM_SimProcessSwitch(benchmark::State& state) {
@@ -49,6 +107,32 @@ void BM_SimProcessSwitch(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(switches), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimProcessSwitch)->Arg(1000);
+
+/// Host-side cost of replicating a 1 KiB block write around a 4-node ring.
+/// In kFixed4 mode this is the worst case the packet pooling targets: 256
+/// one-word packets, each walking 3 downstream nodes.
+void BM_RingBlockWrite(benchmark::State& state) {
+  const auto mode = state.range(0) == 0 ? scramnet::PacketMode::kFixed4
+                                        : scramnet::PacketMode::kVariable;
+  constexpr u32 kWords = 256;  // 1 KiB
+  u64 bytes = 0;
+  std::vector<u32> block(kWords, 0xA5A5A5A5u);
+  for (auto _ : state) {
+    sim::Simulation sim;
+    scramnet::Ring ring(sim, scramnet::RingConfig{
+                                 .nodes = 4, .bank_words = 1u << 12, .mode = mode});
+    constexpr int kWrites = 64;
+    for (int i = 0; i < kWrites; ++i) {
+      ring.host_write_block(0, 0, block, ns(240));
+      sim.run();
+    }
+    bytes += u64{kWrites} * kWords * 4;
+  }
+  state.SetLabel(mode == scramnet::PacketMode::kFixed4 ? "fixed4" : "variable");
+  state.counters["bytes/s"] =
+      benchmark::Counter(static_cast<double>(bytes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RingBlockWrite)->Arg(0)->Arg(1);
 
 /// End-to-end simulated BBP ping-pong per wall second.
 void BM_BbpPingPongSim(benchmark::State& state) {

@@ -25,7 +25,7 @@ void Ring::heal_link(u32 node) {
   link_failed_[node] = false;
 }
 
-SimTime Ring::inject_packet(u32 src, u32 word_addr, std::vector<u32> words, SimTime ready_at) {
+SimTime Ring::inject_packet(u32 src, u32 word_addr, std::span<const u32> words, SimTime ready_at) {
   const u32 payload = static_cast<u32>(words.size()) * 4u;
   const SimTime occ = cfg_.packet_occupancy(payload);
   SimTime start = std::max({ready_at, tx_free_[src], ring_free_});
@@ -35,34 +35,83 @@ SimTime Ring::inject_packet(u32 src, u32 word_addr, std::vector<u32> words, SimT
   packets_.inc();
   words_.inc(words.size());
 
-  // Deliver to each downstream node after k hop latencies past
-  // serialization. A failed link on the path loses the packet for nodes
-  // beyond it (no redundancy) or delays them past the switchover.
-  auto shared = std::make_shared<std::vector<u32>>(std::move(words));
-  bool path_broken = false;
+  // The packet visits each downstream node after k hop latencies past
+  // serialization. Link state is sampled here, at injection, exactly as the
+  // old per-node event posting did: a failed link on the path loses the
+  // packet for nodes beyond it (no redundancy) or delays them past the
+  // switchover. One pooled walk event then carries the packet hop to hop.
+  u32 first_broken = kNoBrokenHop;
   for (u32 k = 1; k < cfg_.nodes; ++k) {
-    const u32 dst = (src + k) % cfg_.nodes;
-    path_broken = path_broken || link_failed_[(src + k - 1) % cfg_.nodes];
-    SimTime at = done + static_cast<SimTime>(k) * cfg_.hop_latency;
-    if (path_broken) {
-      if (!cfg_.redundant_ring) {
-        lost_.inc();
-        continue;
-      }
-      at = std::max(at, recover_at_ + static_cast<SimTime>(k) * cfg_.hop_latency);
+    if (link_failed_[(src + k - 1) % cfg_.nodes]) {
+      first_broken = k;
+      break;
     }
-    sim_.post_at(at, [this, dst, word_addr, shared] { deliver(dst, word_addr, *shared); });
   }
+  u32 last_hop = cfg_.nodes - 1;
+  if (first_broken != kNoBrokenHop && !cfg_.redundant_ring) {
+    lost_.inc(cfg_.nodes - first_broken);  // every node past the break
+    last_hop = first_broken - 1;
+  }
+  if (last_hop == 0) return done;  // first hop is dead: nothing to deliver
+
+  Walk* w = acquire_walk();
+  w->base = done;
+  w->recover = recover_at_;
+  w->src = src;
+  w->word_addr = word_addr;
+  w->nwords = static_cast<u32>(words.size());
+  w->k = 1;
+  w->last_hop = last_hop;
+  w->first_broken = first_broken;
+  if (w->nwords <= kInlinePacketWords) {
+    for (u32 i = 0; i < w->nwords; ++i) w->inline_words[i] = words[i];
+  } else {
+    w->big_words.assign(words.begin(), words.end());
+  }
+  sim_.post_at(hop_time(*w, 1), [this, w] { walk_hop(w); });
   return done;
 }
 
-void Ring::deliver(u32 dst, u32 word_addr, const std::vector<u32>& words) {
+SimTime Ring::hop_time(const Walk& w, u32 k) const {
+  const SimTime propagation = static_cast<SimTime>(k) * cfg_.hop_latency;
+  if (k >= w.first_broken) return std::max(w.base, w.recover) + propagation;
+  return w.base + propagation;
+}
+
+void Ring::walk_hop(Walk* w) {
+  const u32 dst = (w->src + w->k) % cfg_.nodes;
+  deliver(dst, w->word_addr, w->data(), w->nwords);
+  if (w->k < w->last_hop) {
+    ++w->k;
+    sim_.post_at(hop_time(*w, w->k), [this, w] { walk_hop(w); });
+  } else {
+    release_walk(w);
+  }
+}
+
+Ring::Walk* Ring::acquire_walk() {
+  if (walk_free_ == nullptr) {
+    walk_pool_.emplace_back();
+    return &walk_pool_.back();
+  }
+  Walk* w = walk_free_;
+  walk_free_ = w->next_free;
+  return w;
+}
+
+void Ring::release_walk(Walk* w) {
+  w->big_words.clear();  // keeps capacity for the next large packet
+  w->next_free = walk_free_;
+  walk_free_ = w;
+}
+
+void Ring::deliver(u32 dst, u32 word_addr, const u32* words, u32 nwords) {
   auto& bank = banks_[dst];
-  assert(word_addr + words.size() <= bank.size());
-  for (usize i = 0; i < words.size(); ++i) bank[word_addr + i] = words[i];
+  assert(word_addr + nwords <= bank.size());
+  for (u32 i = 0; i < nwords; ++i) bank[word_addr + i] = words[i];
   const IrqRange& r = irq_[dst];
   if (r.handler) {
-    const u32 end = word_addr + static_cast<u32>(words.size());
+    const u32 end = word_addr + nwords;
     if (word_addr < r.hi && end > r.lo) {
       irqs_.inc();
       r.handler(word_addr);
@@ -73,7 +122,7 @@ void Ring::deliver(u32 dst, u32 word_addr, const std::vector<u32>& words) {
 void Ring::host_write(u32 node, u32 word_addr, u32 value) {
   assert(node < cfg_.nodes && word_addr < cfg_.bank_words);
   banks_[node][word_addr] = value;
-  inject_packet(node, word_addr, {value}, sim_.now());
+  inject_packet(node, word_addr, std::span<const u32>(&value, 1), sim_.now());
 }
 
 void Ring::host_write_block(u32 node, u32 word_addr, std::span<const u32> words,
@@ -92,14 +141,16 @@ void Ring::host_write_block(u32 node, u32 word_addr, std::span<const u32> words,
   const u32 chunk_words =
       cfg_.mode == PacketMode::kFixed4 ? 1u : cfg_.max_var_packet_bytes / 4u;
   auto& bank = banks_[node];
+  // The whole burst lands in the local bank within this synchronous call
+  // (no event can interleave), so write it in one pass instead of building
+  // a chunk vector per packet -- in kFixed4 mode that used to mean one
+  // 1-word vector per word written.
+  for (usize i = 0; i < words.size(); ++i) bank[word_addr + i] = words[i];
   usize off = 0;
   while (off < words.size()) {
     const usize n = std::min<usize>(chunk_words, words.size() - off);
-    std::vector<u32> chunk(words.begin() + static_cast<std::ptrdiff_t>(off),
-                           words.begin() + static_cast<std::ptrdiff_t>(off + n));
-    for (usize i = 0; i < n; ++i) bank[word_addr + off + i] = chunk[i];
     const SimTime ready = sim_.now() + static_cast<SimTime>(off) * word_period;
-    inject_packet(node, word_addr + static_cast<u32>(off), std::move(chunk), ready);
+    inject_packet(node, word_addr + static_cast<u32>(off), words.subspan(off, n), ready);
     off += n;
   }
 }

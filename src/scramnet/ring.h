@@ -13,7 +13,9 @@
 // and the shared ring medium, both running at the mode's data rate.
 #pragma once
 
+#include <deque>
 #include <functional>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -71,6 +73,9 @@ class Ring {
   u64 packets_sent() const { return packets_.get(); }
   u64 words_replicated() const { return words_.get(); }
   u64 interrupts_fired() const { return irqs_.get(); }
+  /// Packet-walk pool high-water mark (== max packets ever in flight);
+  /// steady-state traffic reuses these slots without allocating.
+  usize walk_pool_size() const { return walk_pool_.size(); }
 
  private:
   struct IrqRange {
@@ -78,12 +83,45 @@ class Ring {
     std::function<void(u32)> handler;
   };
 
+  /// One in-flight packet working its way around the ring. The payload
+  /// lives inline for small packets (every kFixed4 packet and every single
+  /// host_write) and in a capacity-recycled vector for large variable-mode
+  /// chunks. A single event per packet walks hop to hop instead of one
+  /// pre-posted event per downstream node.
+  static constexpr u32 kInlinePacketWords = 8;
+  static constexpr u32 kNoBrokenHop = std::numeric_limits<u32>::max();
+  struct Walk {
+    Walk* next_free = nullptr;
+    SimTime base = 0;       // serialization-done time (delivery anchor)
+    SimTime recover = 0;    // recover_at_ snapshot at injection
+    u32 src = 0;
+    u32 word_addr = 0;
+    u32 nwords = 0;
+    u32 k = 0;              // next hop to deliver (1-based)
+    u32 last_hop = 0;       // final hop to deliver
+    u32 first_broken = 0;   // hops >= this ride the backup ring
+    u32 inline_words[kInlinePacketWords] = {};
+    std::vector<u32> big_words;  // payload when nwords > kInlinePacketWords
+    const u32* data() const {
+      return nwords <= kInlinePacketWords ? inline_words : big_words.data();
+    }
+  };
+
   /// Schedule one packet of `words` (already applied to the sender's bank);
   /// earliest injection time is `ready_at`. Returns when the packet finishes
   /// serializing onto the ring.
-  SimTime inject_packet(u32 src, u32 word_addr, std::vector<u32> words, SimTime ready_at);
+  SimTime inject_packet(u32 src, u32 word_addr, std::span<const u32> words, SimTime ready_at);
 
-  void deliver(u32 dst, u32 word_addr, const std::vector<u32>& words);
+  /// Delivery time of hop `k` for this walk (same formula the per-node
+  /// event posting used: done + k*hop, pushed past switchover on the
+  /// redundant ring when the path was broken at injection).
+  SimTime hop_time(const Walk& w, u32 k) const;
+  void walk_hop(Walk* w);
+
+  Walk* acquire_walk();
+  void release_walk(Walk* w);
+
+  void deliver(u32 dst, u32 word_addr, const u32* words, u32 nwords);
 
   sim::Simulation& sim_;
   RingConfig cfg_;
@@ -93,6 +131,8 @@ class Ring {
   std::vector<IrqRange> irq_;               // per-node interrupt watch
   std::vector<bool> link_failed_;           // hop node -> node+1 broken
   SimTime recover_at_ = 0;                  // redundant switchover deadline
+  std::deque<Walk> walk_pool_;              // stable-address packet states
+  Walk* walk_free_ = nullptr;
   Counter packets_, words_, irqs_, lost_;
 };
 

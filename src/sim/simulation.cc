@@ -93,15 +93,6 @@ Simulation::~Simulation() {
   }
 }
 
-void Simulation::post(SimTime delay, std::function<void()> fn) {
-  post_at(now_ + delay, std::move(fn));
-}
-
-void Simulation::post_at(SimTime t, std::function<void()> fn) {
-  assert(t >= now_ && "cannot post into the past");
-  queue_.push(Event{t, seq_++, std::move(fn)});
-}
-
 Process& Simulation::spawn(std::string name, std::function<void(Process&)> body) {
   procs_.push_back(std::unique_ptr<Process>(
       new Process(*this, static_cast<u32>(procs_.size()), std::move(name), std::move(body))));
@@ -133,23 +124,19 @@ void Simulation::dispatch(Process& p) {
   }
 }
 
-bool Simulation::step() {
-  if (queue_.empty()) return false;
-  Event ev = queue_.top();
-  queue_.pop();
-  assert(ev.t >= now_);
-  now_ = ev.t;
-  ++events_executed_;
-  ev.fn();
-  return true;
+void Simulation::check_time_limit() {
+  if (time_limit_ > 0 && now_ > time_limit_) {
+    running_ = false;
+    throw std::runtime_error("simulation exceeded time limit");
+  }
 }
 
 void Simulation::run() {
   running_ = true;
-  while (step()) {
-    if (time_limit_ > 0 && now_ > time_limit_) {
-      running_ = false;
-      throw std::runtime_error("simulation exceeded time limit");
+  if (time_limit_ > 0) {
+    while (step()) check_time_limit();
+  } else {
+    while (step()) {
     }
   }
   running_ = false;
@@ -169,7 +156,10 @@ void Simulation::run() {
 }
 
 bool Simulation::run_until(SimTime t) {
-  while (!queue_.empty() && queue_.top().t <= t) step();
+  while (!queue_.empty() && queue_.next_time() <= t) {
+    step();
+    check_time_limit();  // the safety valve guards bounded runs too
+  }
   if (now_ < t) now_ = t;
   return !queue_.empty();
 }

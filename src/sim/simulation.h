@@ -18,19 +18,21 @@
 // process names (a real protocol bug surface, exercised by tests).
 #pragma once
 
+#include <cassert>
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
 #include "common/units.h"
+#include "sim/event_queue.h"
 
 namespace scrnet::sim {
 
@@ -122,10 +124,18 @@ class Simulation {
 
   SimTime now() const { return now_; }
 
-  /// Post a device callback `delay` after now.
-  void post(SimTime delay, std::function<void()> fn);
+  /// Post a device callback `delay` after now. Any callable works; one
+  /// whose captures fit EventQueue::kInlineBytes is stored allocation-free.
+  template <typename F>
+  void post(SimTime delay, F&& fn) {
+    post_at(now_ + delay, std::forward<F>(fn));
+  }
   /// Post a device callback at absolute time t (must be >= now).
-  void post_at(SimTime t, std::function<void()> fn);
+  template <typename F>
+  void post_at(SimTime t, F&& fn) {
+    assert(t >= now_ && "cannot post into the past");
+    queue_.push(t, std::forward<F>(fn));
+  }
 
   /// Create a process; it starts at the current virtual time (or at start
   /// of run() if spawned before run()).
@@ -136,36 +146,47 @@ class Simulation {
   void run();
 
   /// Run until the given virtual time; returns true if work remains.
+  /// Honors the same time-limit safety valve as run().
   bool run_until(SimTime t);
 
-  /// Safety valve: abort run() if virtual time passes this (0 = unlimited).
+  /// Safety valve: abort run()/run_until() if virtual time passes this
+  /// (0 = unlimited).
   void set_time_limit(SimTime t) { time_limit_ = t; }
 
-  u64 events_executed() const { return events_executed_; }
+  u64 events_executed() const { return queue_.executed(); }
   usize live_processes() const;
+
+  /// Event-storage counters (pool growth, inline vs heap callables) --
+  /// the allocation-free guarantee is asserted against these in tests.
+  EventQueue::Stats queue_stats() const { return queue_.stats(); }
+  /// Events currently queued (device callbacks + process resumes).
+  usize events_pending() const { return queue_.size(); }
 
  private:
   friend class Process;
   friend class Signal;
 
-  struct Event {
-    SimTime t;
-    u64 seq;
-    std::function<void()> fn;
-    bool operator>(const Event& o) const { return t != o.t ? t > o.t : seq > o.seq; }
-  };
-
   /// Schedule process resume at absolute time t.
   void schedule_resume(Process& p, SimTime t);
   /// Give control to process p and wait until it blocks or finishes.
   void dispatch(Process& p);
-  bool step();  // execute one event; returns false if queue empty
+
+  /// Execute one event; returns false if the queue is empty. Inline so the
+  /// run() loop compiles down to pop / advance clock / indirect call.
+  bool step() {
+    EventQueue::Popped ev;
+    if (!queue_.pop(&ev)) return false;
+    assert(ev.t >= now_);
+    now_ = ev.t;
+    queue_.run_and_release(ev);
+    return true;
+  }
+
+  void check_time_limit();
 
   SimTime now_ = 0;
   SimTime time_limit_ = 0;
-  u64 seq_ = 0;
-  u64 events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  EventQueue queue_;
   std::vector<std::unique_ptr<Process>> procs_;
   bool running_ = false;
 };

@@ -1,0 +1,259 @@
+// Regression tests for the bucketed event queue: ordering (total order on
+// (time, insertion sequence) across the hot slot, calendar buckets, and the
+// overflow heap), the allocation-free guarantee, run_until's time-limit
+// safety valve, and bit-reproducibility of a full device-model run.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "scramnet/ring.h"
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+
+namespace scrnet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Ordering
+// ---------------------------------------------------------------------------
+
+TEST(EventQueueTest, SameTimestampPopsInInsertionOrder) {
+  sim::EventQueue q;
+  std::vector<int> order;
+  // All at one timestamp: first push lands in the hot slot, the rest go to
+  // the calendar. Ties must pop in push order.
+  for (int i = 0; i < 8; ++i) q.push(ns(100), [&order, i] { order.push_back(i); });
+  sim::EventQueue::Popped ev;
+  while (q.pop(&ev)) q.run_and_release(ev);
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<usize>(i)], i);
+}
+
+TEST(EventQueueTest, SlotKeepsEarlierPushOnTie) {
+  sim::EventQueue q;
+  std::vector<int> order;
+  q.push(ns(50), [&] { order.push_back(0) ; });   // slot
+  q.push(ns(10), [&] { order.push_back(1); });    // earlier: swaps into slot
+  q.push(ns(10), [&] { order.push_back(2); });    // tie with slot: stays behind
+  sim::EventQueue::Popped ev;
+  while (q.pop(&ev)) q.run_and_release(ev);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(EventQueueTest, GlobalOrderAcrossBucketsAndOverflow) {
+  // Pseudo-random times spanning several bucket windows and the overflow
+  // horizon (~33.6 us): pops must come out sorted by (t, insertion seq).
+  sim::EventQueue q;
+  struct Rec {
+    SimTime t;
+    int seq;
+  };
+  std::vector<Rec> popped;
+  u32 lcg = 12345;
+  std::vector<SimTime> times;
+  for (int i = 0; i < 2000; ++i) {
+    lcg = lcg * 1664525u + 1013904223u;
+    // Mix of in-window, same-bucket, and far-overflow times.
+    const SimTime t = static_cast<SimTime>(lcg % 3 == 0 ? lcg % 4096
+                                                        : lcg % 90'000'000u);
+    times.push_back(t);
+    q.push(t, [&popped, t, i] { popped.push_back({t, i}); });
+  }
+  sim::EventQueue::Popped ev;
+  while (q.pop(&ev)) q.run_and_release(ev);
+  ASSERT_EQ(popped.size(), times.size());
+  for (usize i = 1; i < popped.size(); ++i) {
+    ASSERT_LE(popped[i - 1].t, popped[i].t) << "time order violated at " << i;
+    if (popped[i - 1].t == popped[i].t)
+      ASSERT_LT(popped[i - 1].seq, popped[i].seq) << "tie order violated at " << i;
+  }
+  EXPECT_GT(q.stats().overflow_posted, 0u) << "test never exercised overflow";
+}
+
+TEST(EventQueueTest, ReschedulingAcrossWindowsKeepsOrder) {
+  // Self-reposting events that hop past the bucket horizon force window
+  // advances and overflow migration while the queue is live.
+  sim::Simulation simu;
+  SimTime last = -1;
+  int count = 0;
+  struct Hop {
+    sim::Simulation* s;
+    SimTime* last;
+    int* count;
+    int remaining;
+    void operator()() const {
+      EXPECT_GE(s->now(), *last);
+      *last = s->now();
+      ++*count;
+      if (remaining > 0) s->post(us(40), Hop{s, last, count, remaining - 1});
+    }
+  };
+  simu.post(ns(1), Hop{&simu, &last, &count, 50});
+  simu.run();
+  EXPECT_EQ(count, 51);
+  EXPECT_EQ(simu.now(), ns(1) + 50 * us(40));
+}
+
+// ---------------------------------------------------------------------------
+// Allocation-free guarantee
+// ---------------------------------------------------------------------------
+
+TEST(EventQueueTest, SteadyStateChainDoesNotAllocate) {
+  sim::Simulation simu;
+  struct Tick {
+    sim::Simulation* s;
+    int remaining;
+    void operator()() const {
+      if (remaining > 0) s->post(ns(10), Tick{s, remaining - 1});
+    }
+  };
+  simu.post(ns(10), Tick{&simu, 100000});
+  simu.run();
+  const auto st = simu.queue_stats();
+  EXPECT_EQ(st.posted, 100001u);
+  EXPECT_EQ(st.heap_fallback, 0u) << "inline-sized functor hit the heap path";
+  EXPECT_EQ(st.inline_stored, st.posted);
+  EXPECT_EQ(st.pool_chunks, 1u) << "steady-state chain should reuse one chunk";
+}
+
+TEST(EventQueueTest, OversizedCallableTakesCountedHeapFallback) {
+  sim::Simulation simu;
+  // 64 bytes of captured state: larger than EventQueue::kInlineBytes.
+  struct Big {
+    unsigned char payload[sim::EventQueue::kInlineBytes + 16];
+  };
+  Big big{};
+  big.payload[0] = 7;
+  int seen = 0;
+  simu.post(ns(1), [big, &seen] { seen = big.payload[0]; });
+  simu.run();
+  EXPECT_EQ(seen, 7);
+  EXPECT_EQ(simu.queue_stats().heap_fallback, 1u);
+}
+
+TEST(EventQueueTest, NonTrivialCallableDestroyedWithoutRunning) {
+  // Events still queued when the Simulation dies must destroy their
+  // captures (shared_ptr refcount observes it).
+  auto token = std::make_shared<int>(42);
+  {
+    sim::Simulation simu;
+    simu.post(ns(5), [token] { FAIL() << "never executed"; });
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Time limit (run and run_until)
+// ---------------------------------------------------------------------------
+
+TEST(SimulationTimeLimitTest, RunHonorsLimit) {
+  sim::Simulation simu;
+  simu.set_time_limit(us(1));
+  struct Forever {
+    sim::Simulation* s;
+    void operator()() const { s->post(ns(100), *this); }
+  };
+  simu.post(ns(100), Forever{&simu});
+  EXPECT_THROW(simu.run(), std::runtime_error);
+}
+
+TEST(SimulationTimeLimitTest, RunUntilHonorsLimit) {
+  // Regression: run_until used to ignore set_time_limit entirely.
+  sim::Simulation simu;
+  simu.set_time_limit(us(1));
+  struct Forever {
+    sim::Simulation* s;
+    void operator()() const { s->post(ns(100), *this); }
+  };
+  simu.post(ns(100), Forever{&simu});
+  EXPECT_THROW(simu.run_until(ms(1)), std::runtime_error);
+  EXPECT_GT(simu.now(), us(1));
+  EXPECT_LE(simu.now(), us(1) + ns(100));
+}
+
+TEST(SimulationTimeLimitTest, RunUntilStopsAtRequestedTime) {
+  sim::Simulation simu;
+  int fired = 0;
+  simu.post(ns(100), [&] { ++fired; });
+  simu.post(us(10), [&] { ++fired; });
+  EXPECT_TRUE(simu.run_until(us(1)));   // first event only; work remains
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(simu.now(), us(1));
+  EXPECT_FALSE(simu.run_until(us(20)));  // drains the rest
+  EXPECT_EQ(fired, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism of a full device-model run
+// ---------------------------------------------------------------------------
+
+struct RunResult {
+  u64 events;
+  SimTime final_now;
+  u64 packets;
+  u64 words;
+  u32 checksum;
+};
+
+/// A fig4-style workload: block writes from several nodes, a mid-run link
+/// fault on a redundant ring, and interrupt handlers that write back --
+/// exercising slot, calendar, overflow, and the pooled packet walk.
+RunResult ring_scenario() {
+  sim::Simulation simu;
+  scramnet::Ring ring(simu, scramnet::RingConfig{.nodes = 4,
+                                                 .bank_words = 1u << 12,
+                                                 .redundant_ring = true});
+  std::vector<u32> block(64);
+  for (u32 i = 0; i < 64; ++i) block[i] = 0x1000u + i;
+  ring.set_interrupt(2, 0, 256, [&](u32 addr) {
+    // Write-back traffic from inside a delivery handler.
+    ring.host_write(2, 512 + (addr % 64), addr);
+  });
+  simu.post(us(3), [&] { ring.fail_link(1); });
+  simu.post(us(9), [&] { ring.heal_link(1); });
+  for (int round = 0; round < 6; ++round) {
+    simu.post(us(2) * round + ns(50), [&, round] {
+      ring.host_write_block(static_cast<u32>(round) % 4, 0, block, ns(240));
+    });
+  }
+  simu.run();
+  u32 sum = 0;
+  for (u32 node = 0; node < 4; ++node)
+    for (u32 a = 0; a < 1024; ++a) sum = sum * 31 + ring.host_read(node, a);
+  return {simu.events_executed(), simu.now(), ring.packets_sent(),
+          ring.words_replicated(), sum};
+}
+
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalResults) {
+  const RunResult a = ring_scenario();
+  const RunResult b = ring_scenario();
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.final_now, b.final_now);
+  EXPECT_EQ(a.packets, b.packets);
+  EXPECT_EQ(a.words, b.words);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_GT(a.events, 0u);
+}
+
+TEST(DeterminismTest, PacketWalkPoolIsRecycled) {
+  sim::Simulation simu;
+  scramnet::Ring ring(simu, scramnet::RingConfig{.nodes = 8, .bank_words = 1u << 10});
+  // Bursts spaced so the ring drains in between (16 fixed packets serialize
+  // in ~10 us, plus 7 hops of propagation): the pool high-water mark must
+  // stay near one burst's in-flight count, far below the total packet count.
+  for (int burst = 0; burst < 100; ++burst) {
+    simu.post(us(20) * burst, [&, burst] {
+      for (u32 w = 0; w < 16; ++w)
+        ring.host_write(static_cast<u32>(burst) % 8, w, static_cast<u32>(burst));
+    });
+  }
+  simu.run();
+  EXPECT_EQ(ring.packets_sent(), 1600u);
+  EXPECT_LE(ring.walk_pool_size(), 32u);
+  EXPECT_GT(ring.walk_pool_size(), 0u);
+}
+
+}  // namespace
+}  // namespace scrnet
