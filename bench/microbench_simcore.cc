@@ -108,6 +108,24 @@ void BM_SimProcessSwitch(benchmark::State& state) {
 }
 BENCHMARK(BM_SimProcessSwitch)->Arg(1000);
 
+/// Process spawn + run-to-exit + teardown cost. The bodies are empty, so
+/// lifetimes never overlap: the fiber scheduler must serve every process
+/// after the first from its recycled stack pool (one mmap total); the
+/// thread fallback pays a thread create/join per process.
+void BM_SimSpawnTeardown(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  u64 spawned = 0;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    for (int i = 0; i < procs; ++i) sim.spawn("p", [](sim::Process&) {});
+    sim.run();
+    spawned += static_cast<u64>(procs);
+  }
+  state.counters["procs/s"] =
+      benchmark::Counter(static_cast<double>(spawned), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimSpawnTeardown)->Arg(1000);
+
 /// Host-side cost of replicating a 1 KiB block write around a 4-node ring.
 /// In kFixed4 mode this is the worst case the packet pooling targets: 256
 /// one-word packets, each walking 3 downstream nodes.

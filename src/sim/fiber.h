@@ -1,0 +1,134 @@
+// Stackful fibers for the simulation kernel.
+//
+// A simulated Process runs on a user-level fiber: a private mmap'd stack
+// (PROT_NONE guard page below, pooled/recycled across spawn/exit) plus a
+// saved CPU context. Handing control between the kernel and a process is
+// one cooperative context swap on the kernel thread -- no mutex, no
+// condvar, no kernel scheduling -- which is what makes Process::delay()
+// cost nanoseconds instead of microseconds (BM_SimProcessSwitch).
+//
+// Two interchangeable switch backends sit behind FiberContext:
+//
+//  * asm (default on x86-64): a ~20-instruction System-V switch that saves
+//    the callee-saved registers and the FP control words on the suspending
+//    stack and swaps %rsp. glibc's swapcontext() performs a sigprocmask
+//    system call per switch (~200 ns here); the simulator never changes
+//    signal masks, so the syscall buys nothing and is skipped.
+//  * ucontext (other POSIX targets, or -DSCRNET_SIM_UCONTEXT_FIBERS=ON):
+//    portable getcontext/makecontext/swapcontext.
+//
+// Both backends carry the __sanitizer_start_switch_fiber /
+// __sanitizer_finish_switch_fiber annotations, so AddressSanitizer tracks
+// the live stack across swaps and fiber builds run clean under ASan.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+#if defined(__x86_64__) && !defined(SCRNET_SIM_UCONTEXT_FIBERS)
+#define SCRNET_FIBER_BACKEND_ASM 1
+#else
+#define SCRNET_FIBER_BACKEND_UCONTEXT 1
+#include <ucontext.h>
+#endif
+
+#if defined(__SANITIZE_ADDRESS__)
+#define SCRNET_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SCRNET_FIBER_ASAN 1
+#endif
+#endif
+
+namespace scrnet::sim::detail {
+
+/// One mmap'd fiber stack. The lowest page is PROT_NONE: running off the
+/// end of the usable region faults immediately instead of silently
+/// corrupting an adjacent stack.
+struct FiberStack {
+  void* base = nullptr;   // mmap base; the guard page starts here
+  usize map_bytes = 0;    // guard + usable
+  usize guard_bytes = 0;  // PROT_NONE prefix
+
+  void* limit() const { return static_cast<char*>(base) + guard_bytes; }
+  void* top() const { return static_cast<char*>(base) + map_bytes; }
+  usize usable_bytes() const { return map_bytes - guard_bytes; }
+  explicit operator bool() const { return base != nullptr; }
+};
+
+/// Free-list of fiber stacks. Process exit returns the stack here; the
+/// next spawn reuses it, so steady-state spawn/exit churn performs no
+/// mmap/munmap traffic (BM_SimSpawnTeardown tracks this).
+class StackPool {
+ public:
+  struct Stats {
+    usize mapped = 0;  // stacks obtained from the OS (mmap)
+    usize reused = 0;  // acquires served from the free list
+    usize live = 0;    // stacks currently owned by a fiber
+    usize pooled = 0;  // stacks parked on the free list
+  };
+
+  /// `usable_bytes` is rounded up to whole pages (stack_bytes() tells the
+  /// rounded value); every stack additionally carries one guard page.
+  explicit StackPool(usize usable_bytes);
+  ~StackPool();
+
+  StackPool(const StackPool&) = delete;
+  StackPool& operator=(const StackPool&) = delete;
+
+  FiberStack acquire();
+  void release(const FiberStack& s);
+
+  const Stats& stats() const { return stats_; }
+  usize stack_bytes() const { return stack_bytes_; }
+
+ private:
+  usize page_bytes_;
+  usize stack_bytes_;  // usable bytes, page-rounded
+  std::vector<FiberStack> free_;
+  Stats stats_;
+};
+
+/// A suspendable CPU context: either the kernel's (default-constructed,
+/// its stack is whatever thread called Simulation::run) or a fiber's
+/// (prepare()d onto a FiberStack). switch_from() transfers control.
+class FiberContext {
+ public:
+  using Entry = void (*)(void* arg);
+
+  FiberContext() = default;
+  FiberContext(const FiberContext&) = delete;
+  FiberContext& operator=(const FiberContext&) = delete;
+
+  /// Arm this context so the first switch_from() into it runs entry(arg)
+  /// on `stack`. entry must never return: its final act is a
+  /// switch_from(self, /*from_dying=*/true) back to its resumer.
+  void prepare(Entry entry, void* arg, const FiberStack& stack);
+
+  /// Suspend the currently-executing context into `from` and resume
+  /// *this. Returns when somebody later switches back into `from`.
+  /// `from_dying` means `from`'s stack is dead after this swap (fiber
+  /// exit): the sanitizer is told to retire it instead of keeping its
+  /// fake-stack shadow alive.
+  void switch_from(FiberContext& from, bool from_dying = false);
+
+ private:
+  [[noreturn]] static void run_entry();
+
+#if defined(SCRNET_FIBER_BACKEND_ASM)
+  void* sp_ = nullptr;  // saved stack pointer while suspended
+#else
+  ucontext_t ctx_ = {};
+#endif
+  Entry entry_ = nullptr;
+  void* arg_ = nullptr;
+#if defined(SCRNET_FIBER_ASAN)
+  void* fake_stack_ = nullptr;        // ASan fake-stack handle while suspended
+  const void* stack_bottom_ = nullptr;  // this context's stack, for ASan
+  usize stack_size_ = 0;
+#endif
+};
+
+}  // namespace scrnet::sim::detail

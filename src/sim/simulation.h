@@ -7,10 +7,14 @@
 //  * event callbacks -- device models (ring, switch, NIC) post plain
 //    functions to run at a future virtual time;
 //  * processes -- protocol/application code (BBP endpoints, MPI ranks)
-//    written as ordinary blocking C++ running on a hosted std::thread.
-//    Exactly one thread (kernel or one process) runs at any instant,
-//    exchanged through a mutex/condvar handshake, SystemC-style. This lets
-//    the *real* protocol code execute unmodified inside the simulation.
+//    written as ordinary blocking C++ running on a stackful fiber
+//    (sim/fiber.h). Exactly one context (kernel or one process) runs at
+//    any instant; control moves by cooperative context swap on the kernel
+//    thread, so a Process::delay() costs nanoseconds, not a condvar
+//    round trip. This lets the *real* protocol code execute unmodified
+//    inside the simulation. Building with -DSCRNET_SIM_THREAD_PROCS=ON
+//    restores the legacy one-std::thread-per-process backend (a
+//    sanitizer/debugger-friendly fallback with identical event ordering).
 //
 // A process consumes virtual time with Process::delay() and blocks on
 // conditions with sim::Signal. If the event queue drains while processes
@@ -19,20 +23,24 @@
 #pragma once
 
 #include <cassert>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
+
+#if defined(SCRNET_SIM_THREAD_PROCS)
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#endif
 
 #include "common/types.h"
 #include "common/units.h"
 #include "sim/event_queue.h"
+#include "sim/fiber.h"
 
 namespace scrnet::sim {
 
@@ -50,6 +58,15 @@ class DeadlockError : public std::runtime_error {
 class ProcessError : public std::runtime_error {
  public:
   explicit ProcessError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Kernel tuning knobs (RingConfig-style: aggregate, all defaulted).
+struct SimConfig {
+  /// Usable stack bytes for each simulated process fiber, rounded up to
+  /// whole pages; a PROT_NONE guard page is mapped below every stack.
+  /// Ignored by the SCRNET_SIM_THREAD_PROCS fallback (OS threads size
+  /// their own stacks).
+  usize proc_stack_bytes = 256 * 1024;
 };
 
 /// A simulated process. Instances are owned by the Simulation; user code
@@ -80,32 +97,45 @@ class Process {
   friend class Signal;
 
   enum class State {
-    kCreated,   // thread not yet started
+    kCreated,   // never dispatched, no execution context yet
     kReady,     // resume event queued
-    kRunning,   // process thread active
+    kRunning,   // process context active
     kParked,    // waiting on a Signal (no resume event queued)
     kFinished,  // body returned or threw
   };
 
   Process(Simulation& sim, u32 id, std::string name, std::function<void(Process&)> body);
 
-  void thread_main();
   /// Switch control process -> kernel. Called with proc about to block.
   void to_kernel();
-  /// Block this process until the kernel hands control back.
+  /// Regain control from the kernel (cancellation check on resume).
   void from_kernel_wait();
   /// Park on a signal: no resume event is scheduled; Signal::notify will.
   void park();
+
+#if defined(SCRNET_SIM_THREAD_PROCS)
+  void thread_main();
+#else
+  static void fiber_entry(void* self);
+  void fiber_main();
+#endif
 
   Simulation& sim_;
   u32 id_;
   std::string name_;
   std::function<void(Process&)> body_;
-  std::thread thread_;
 
+#if defined(SCRNET_SIM_THREAD_PROCS)
+  std::thread thread_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool proc_turn_ = false;    // true: process may run; false: kernel may run
+#else
+  detail::FiberContext fiber_;
+  detail::FiberStack stack_;
+  bool fiber_live_ = false;   // stack acquired + context armed
+#endif
+
   bool cancelled_ = false;    // set during Simulation teardown
   bool wake_was_notify_ = false;  // distinguishes notify vs timeout wakeups
   State state_ = State::kCreated;
@@ -116,7 +146,8 @@ class Process {
 /// The simulation kernel.
 class Simulation {
  public:
-  Simulation();
+  Simulation() : Simulation(SimConfig{}) {}
+  explicit Simulation(const SimConfig& cfg);
   ~Simulation();
 
   Simulation(const Simulation&) = delete;
@@ -162,6 +193,12 @@ class Simulation {
   /// Events currently queued (device callbacks + process resumes).
   usize events_pending() const { return queue_.size(); }
 
+  /// Fiber stack-pool counters (mmap'd vs recycled stacks). All zero on
+  /// the SCRNET_SIM_THREAD_PROCS fallback, which has no fiber stacks.
+  detail::StackPool::Stats stack_stats() const { return stack_pool_.stats(); }
+  /// Per-process usable stack bytes after page rounding.
+  usize proc_stack_bytes() const { return stack_pool_.stack_bytes(); }
+
  private:
   friend class Process;
   friend class Signal;
@@ -187,6 +224,10 @@ class Simulation {
   SimTime now_ = 0;
   SimTime time_limit_ = 0;
   EventQueue queue_;
+  detail::StackPool stack_pool_;
+#if !defined(SCRNET_SIM_THREAD_PROCS)
+  detail::FiberContext kernel_ctx_;
+#endif
   std::vector<std::unique_ptr<Process>> procs_;
   bool running_ = false;
 };
