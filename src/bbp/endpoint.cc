@@ -3,8 +3,20 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <string>
 
+#include "bbp/validator.h"
 #include "common/bytes.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
+
+// Protocol-invariant hooks (see bbp/validator.h): compiled in only under
+// -DSCRNET_BBP_VALIDATE=ON; a regular build pays nothing.
+#if defined(SCRNET_BBP_VALIDATE)
+#define BBP_VALIDATE(ep, where) ::scrnet::bbp::Validator::check((ep), (where))
+#else
+#define BBP_VALIDATE(ep, where) ((void)0)
+#endif
 
 namespace scrnet::bbp {
 
@@ -22,6 +34,7 @@ Endpoint::Endpoint(scramnet::MemPort& port, u32 procs, u32 me, Config cfg)
   ack_out_mirror_.assign(procs, 0);
   seen_msg_.assign(procs, 0);
   inq_.resize(procs);
+  last_deliv_seq_.assign(procs, 0);
   head_ = tail_ = layout_.data_base(me_);
   if (cfg_.recv_mode == RecvMode::kInterrupt && port_.supports_wait_write()) {
     mode_ = RecvMode::kInterrupt;
@@ -50,11 +63,13 @@ Result<u32> Endpoint::alloc_slot(u32 len_bytes, bool block) {
   const u32 base = layout_.data_base(me_);
   const u32 end = data_end();
 
+  // Where can a `words`-sized payload go? Zero-length messages occupy no
+  // data space and record offset = base, so a stale cursor value can never
+  // leak into tail_ tracking when GC later walks past them.
   auto try_space = [&]() -> std::optional<u32> {
-    if (words == 0) return head_;
+    if (words == 0) return base;
     if (data_empty_) {
-      head_ = tail_ = base;  // normalize when idle
-      if (words <= layout_.data_words) return head_;
+      if (words <= layout_.data_words) return base;
       return std::nullopt;
     }
     if (head_ >= tail_) {
@@ -66,37 +81,36 @@ Result<u32> Endpoint::alloc_slot(u32 len_bytes, bool block) {
     return std::nullopt;
   };
 
+  // Claim a free slot id (one must exist: live_.size() < slots) and commit
+  // the allocator cursor for an accepted offset.
+  auto accept = [&](u32 off) -> u32 {
+    u32 id = 0;
+    while (slot_[id].in_use) ++id;
+    slot_[id].offset_words = off;
+    if (words > 0) {
+      if (data_empty_) {
+        tail_ = base;  // normalize when idle
+        data_empty_ = false;
+      }
+      head_ = off + words;
+    }
+    return id;
+  };
+
   bool stalled = false;
   for (;;) {
-    if (live_.size() < cfg_.slots) {
-      if (auto off = try_space()) {
-        // Find a free slot id (one must exist: live_.size() < slots).
-        u32 id = 0;
-        while (slot_[id].in_use) ++id;
-        if (words > 0) {
-          if (*off == base && head_ >= tail_ && !data_empty_) head_ = base;  // committed wrap
-          head_ = *off + words;
-        }
-        data_empty_ = false;
-        if (words == 0 && live_.empty()) data_empty_ = true;  // no space consumed
-        return id;
-      }
-    }
-    collect_garbage();
-    // Retry immediately after GC before deciding to stall.
-    if (live_.size() < cfg_.slots) {
-      if (auto off = try_space()) {
-        u32 id = 0;
-        while (slot_[id].in_use) ++id;
-        if (words > 0) head_ = *off + words;
-        data_empty_ = false;
-        if (words == 0 && live_.empty()) data_empty_ = true;
-        return id;
+    // First pass uses the current state; the second reconciles ACKs (GC)
+    // and retries before deciding to stall or fail.
+    for (int pass = 0; pass < 2; ++pass) {
+      if (pass == 1) collect_garbage();
+      if (live_.size() < cfg_.slots) {
+        if (auto off = try_space()) return accept(*off);
       }
     }
     if (!block) return Status::NoSpace("billboard full");
     if (!stalled) {
       ++stats_.send_stalls;
+      TRACE_INSTANT(obs::Layer::kBbp, me_, "bbp.send_stall", port_);
       stalled = true;
     }
     blocked_wait();
@@ -104,6 +118,7 @@ Result<u32> Endpoint::alloc_slot(u32 len_bytes, bool block) {
 }
 
 void Endpoint::collect_garbage() {
+  TRACE_SPAN(obs::Layer::kBbp, me_, "bbp.gc", port_);
   ++stats_.gc_runs;
   u32 interested = 0;
   for (u32 id : live_) interested |= slot_[id].pending;
@@ -134,18 +149,29 @@ void Endpoint::collect_garbage() {
     live_.pop_front();
     slot_[id].in_use = false;
     ++stats_.slots_reclaimed;
-    if (live_.empty()) {
-      data_empty_ = true;
-      head_ = tail_ = layout_.data_base(me_);
-    } else {
-      tail_ = slot_[live_.front()].offset_words;
-    }
   }
+  // Recompute the data extent. tail_ must follow the oldest live *payload*
+  // slot: zero-length slots occupy no data words, and letting one of them
+  // drag tail_ onto head_ made try_space read an empty partition as full
+  // (spurious kNoSpace / send stalls).
+  data_empty_ = true;
+  for (u32 id : live_) {
+    if (slot_[id].len_bytes == 0) continue;
+    tail_ = slot_[id].offset_words;
+    data_empty_ = false;
+    break;
+  }
+  if (data_empty_) head_ = tail_ = layout_.data_base(me_);
+  BBP_VALIDATE(*this, "collect_garbage");
 }
 
 Status Endpoint::post(u32 dest_mask, std::span<const u8> payload, bool block) {
+  TRACE_SPAN(obs::Layer::kBbp, me_, "bbp.post", port_);
   if (dest_mask == 0) return Status::InvalidArg("bbp: empty destination set");
-  if (dest_mask >> layout_.procs) return Status::InvalidArg("bbp: destination out of range");
+  // Width-safe range check: `dest_mask >> procs` is UB when procs == 32
+  // (and on x86 evaluated as a shift by 0, rejecting every 32-proc send).
+  if ((static_cast<u64>(dest_mask) >> layout_.procs) != 0)
+    return Status::InvalidArg("bbp: destination out of range");
   if (payload.size() > layout_.max_message_bytes())
     return Status::InvalidArg("bbp: message exceeds data partition");
   const u32 len_bytes = static_cast<u32>(payload.size());
@@ -155,12 +181,12 @@ Status Endpoint::post(u32 dest_mask, std::span<const u8> payload, bool block) {
   if (!slot_id.ok()) return slot_id.status();
   const u32 id = slot_id.value();
 
+  // alloc_slot already recorded the payload offset in the slot it chose.
   Slot& s = slot_[id];
   s.in_use = true;
   s.seq = seq_next_++;
   s.len_bytes = len_bytes;
   s.pending = dest_mask;
-  s.offset_words = (len_bytes == 0) ? head_ : head_ - words_for_bytes(len_bytes);
   live_.push_back(id);
 
   // 1. payload into the billboard (zero-copy from the user buffer);
@@ -189,6 +215,7 @@ Status Endpoint::post(u32 dest_mask, std::span<const u8> payload, bool block) {
     ++stats_.mcasts;
   else
     ++stats_.sends;
+  BBP_VALIDATE(*this, "post");
   return Status::Ok();
 }
 
@@ -272,10 +299,13 @@ Result<RecvInfo> Endpoint::deliver(Incoming msg, std::span<u8> buf) {
   ack_out_mirror_[msg.src] ^= (1u << msg.slot);
   port_.write_u32(layout_.ack_flag_addr(msg.src, me_), ack_out_mirror_[msg.src]);
   ++stats_.recvs;
+  last_deliv_seq_[msg.src] = msg.seq;
+  BBP_VALIDATE(*this, "deliver");
   return info;
 }
 
 Result<RecvInfo> Endpoint::recv(u32 src, std::span<u8> buf) {
+  TRACE_SPAN(obs::Layer::kBbp, me_, "bbp.recv", port_);
   if (src >= layout_.procs) return Status::InvalidArg("bbp: bad src");
   while (inq_[src].empty()) {
     if (!poll_sender(src)) blocked_wait();
@@ -286,6 +316,7 @@ Result<RecvInfo> Endpoint::recv(u32 src, std::span<u8> buf) {
 }
 
 Result<RecvInfo> Endpoint::recv_any(std::span<u8> buf) {
+  TRACE_SPAN(obs::Layer::kBbp, me_, "bbp.recv_any", port_);
   for (;;) {
     for (u32 i = 0; i < layout_.procs; ++i) {
       const u32 s = (rr_next_ + i) % layout_.procs;
@@ -331,6 +362,7 @@ std::optional<u32> Endpoint::peek_len(u32 src) {
 }
 
 void Endpoint::drain() {
+  TRACE_SPAN(obs::Layer::kBbp, me_, "bbp.drain", port_);
   while (inflight() > 0) {
     collect_garbage();
     if (inflight() > 0) blocked_wait();
@@ -342,6 +374,49 @@ u32 Endpoint::inflight() const {
   for (const Slot& s : slot_)
     if (s.in_use) ++n;
   return n;
+}
+
+// ---------------------------------------------------------------------------
+// Observability / test hooks
+// ---------------------------------------------------------------------------
+
+void Endpoint::publish_counters(obs::Counters& c, std::string_view group) const {
+  c.add(group, "sends", stats_.sends);
+  c.add(group, "mcasts", stats_.mcasts);
+  c.add(group, "recvs", stats_.recvs);
+  c.add(group, "polls", stats_.polls);
+  c.add(group, "gc_runs", stats_.gc_runs);
+  c.add(group, "slots_reclaimed", stats_.slots_reclaimed);
+  c.add(group, "send_stalls", stats_.send_stalls);
+  c.add(group, "dma_sends", stats_.dma_sends);
+}
+
+void Endpoint::corrupt_for_test(Corrupt what) {
+  switch (what) {
+    case Corrupt::kTail:
+      // Shift tail_ off the oldest payload slot's offset; the extent walk
+      // can no longer start at a live slot boundary.
+      tail_ += 1;
+      data_empty_ = false;
+      break;
+    case Corrupt::kDataEmpty:
+      data_empty_ = !data_empty_;
+      break;
+    case Corrupt::kFlagMirror:
+      sent_flag_mirror_[me_ == 0 ? layout_.procs - 1 : 0] ^= 1u;
+      break;
+    case Corrupt::kAckMirror:
+      ack_out_mirror_[me_ == 0 ? layout_.procs - 1 : 0] ^= 1u;
+      break;
+    case Corrupt::kSeq: {
+      // Duplicate sequence numbers violate strict per-sender monotonicity
+      // whether or not anything was queued before.
+      Incoming fake{0, 0, 42, layout_.data_base(0), 0};
+      inq_[0].push_back(fake);
+      inq_[0].push_back(fake);
+      break;
+    }
+  }
 }
 
 }  // namespace scrnet::bbp

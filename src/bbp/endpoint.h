@@ -26,6 +26,7 @@
 #include <deque>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -33,6 +34,10 @@
 #include "common/units.h"
 #include "bbp/layout.h"
 #include "scramnet/port.h"
+
+namespace scrnet::obs {
+class Counters;
+}
 
 namespace scrnet::bbp {
 
@@ -136,7 +141,23 @@ class Endpoint {
   /// Active receive mode (kInterrupt only if the port supports it).
   RecvMode recv_mode() const { return mode_; }
 
+  /// Publish stats_ into the counter registry under `group` (e.g.
+  /// "bbp.rank0"); the harness calls this when counters are enabled.
+  void publish_counters(obs::Counters& c, std::string_view group) const;
+
+  /// Fault injection for bbp::Validator tests: deliberately break one
+  /// protocol invariant so the corresponding check provably fires.
+  enum class Corrupt {
+    kTail,        // point tail_ into the middle of a live extent
+    kDataEmpty,   // flip data_empty_ against the live payload slots
+    kFlagMirror,  // desync sent_flag_mirror_ from the MESSAGE word
+    kAckMirror,   // desync ack_out_mirror_ from the ACK word
+    kSeq,         // break per-sender sequence monotonicity in inq_
+  };
+  void corrupt_for_test(Corrupt what);
+
  private:
+  friend class Validator;
   struct Slot {
     bool in_use = false;
     u32 seq = 0;
@@ -195,6 +216,7 @@ class Endpoint {
   // Receiver state.
   std::vector<u32> seen_msg_;          // per sender: last observed MESSAGE word
   std::vector<std::deque<Incoming>> inq_;  // per sender, seq-ordered
+  std::vector<u32> last_deliv_seq_;    // per sender: last delivered seq (0 = none)
   u32 rr_next_ = 0;                    // round-robin scan position
 
   EndpointStats stats_;

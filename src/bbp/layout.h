@@ -15,6 +15,23 @@
 //
 // Every word has exactly one writer, which is what makes the protocol
 // lock-free on non-coherent memory.
+//
+// Data-partition allocator invariants (maintained by Endpoint, asserted by
+// bbp::Validator, documented here because the layout defines the extents):
+//
+//   * the allocator is circular over [data_base, data_base + data_words)
+//     with cursors head_ (next free word) and tail_ (oldest live payload);
+//     space is reclaimed from the tail only, in slot-allocation FIFO order;
+//   * data_empty_ holds iff NO live slot carries payload; zero-length
+//     messages consume a slot but no data words, record offset = data_base,
+//     and never participate in head_/tail_ tracking (letting one define
+//     tail_ once aliased it onto head_, which reads as a FULL partition);
+//   * when data_empty_, head_ == tail_ == data_base (normalized);
+//   * otherwise the live payload extents tile [tail_, head_) contiguously
+//     in FIFO order with at most one wrap back to data_base, and wrapped
+//     extents stay strictly below tail_ -- head_ == tail_ therefore always
+//     means "full never happens": the allocator keeps head_ != tail_ by
+//     rejecting a wrap that would close the gap (strict < checks).
 #pragma once
 
 #include <stdexcept>

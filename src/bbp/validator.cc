@@ -1,0 +1,110 @@
+#include "bbp/validator.h"
+
+#include <sstream>
+
+#include "bbp/endpoint.h"
+#include "common/bytes.h"
+
+namespace scrnet::bbp {
+
+namespace {
+inline bool seq_leq(u32 a, u32 b) { return static_cast<i32>(a - b) <= 0; }
+
+[[noreturn]] void fail(const char* where, const std::string& detail) {
+  std::ostringstream os;
+  os << "bbp invariant violated after " << where << ": " << detail;
+  throw ValidationError(os.str());
+}
+}  // namespace
+
+void Validator::check(Endpoint& ep, const char* where) {
+  const Layout& lay = ep.layout_;
+  const u32 base = lay.data_base(ep.me_);
+  const u32 end = base + lay.data_words;
+
+  // -- allocator ring consistency ------------------------------------------
+  u32 live_seen = 0;  // bitmask of slot ids found in live_
+  bool any_payload = false;
+  for (u32 id : ep.live_) {
+    if (id >= ep.cfg_.slots) fail(where, "live_ holds slot id " + std::to_string(id));
+    if ((live_seen >> id) & 1u) fail(where, "live_ lists slot " + std::to_string(id) + " twice");
+    live_seen |= 1u << id;
+    if (!ep.slot_[id].in_use) fail(where, "live_ slot " + std::to_string(id) + " not in_use");
+    if (ep.slot_[id].len_bytes > 0) any_payload = true;
+  }
+  for (u32 id = 0; id < ep.cfg_.slots; ++id) {
+    if (ep.slot_[id].in_use && !((live_seen >> id) & 1u))
+      fail(where, "in_use slot " + std::to_string(id) + " missing from live_");
+  }
+
+  if (ep.data_empty_ != !any_payload) {
+    fail(where, std::string("data_empty_ is ") + (ep.data_empty_ ? "true" : "false") +
+                    " but " + (any_payload ? "a" : "no") + " live payload slot exists");
+  }
+  if (ep.data_empty_) {
+    if (ep.head_ != base || ep.tail_ != base)
+      fail(where, "empty data partition but head_/tail_ not at base");
+  } else {
+    if (ep.head_ < base || ep.head_ > end || ep.tail_ < base || ep.tail_ > end)
+      fail(where, "head_/tail_ outside the data partition");
+    // Payload extents must tile [tail_ .. head_) in FIFO order with at most
+    // one wrap back to base (and post-wrap extents strictly below tail_).
+    u32 cursor = ep.tail_;
+    bool wrapped = false;
+    for (u32 id : ep.live_) {
+      const Endpoint::Slot& s = ep.slot_[id];
+      if (s.len_bytes == 0) continue;
+      const u32 words = words_for_bytes(s.len_bytes);
+      if (s.offset_words != cursor) {
+        if (!wrapped && s.offset_words == base && cursor != base) {
+          wrapped = true;
+        } else {
+          fail(where, "slot " + std::to_string(id) + " extent at " +
+                          std::to_string(s.offset_words) + " does not follow cursor " +
+                          std::to_string(cursor));
+        }
+      }
+      cursor = s.offset_words + words;
+      if (cursor > end) fail(where, "slot " + std::to_string(id) + " extent passes data end");
+      if (wrapped && cursor >= ep.tail_)
+        fail(where, "wrapped extents reach tail_ (allocator overcommitted)");
+    }
+    if (cursor != ep.head_)
+      fail(where, "extent walk ends at " + std::to_string(cursor) + ", head_ is " +
+                      std::to_string(ep.head_));
+  }
+
+  // -- flag mirrors vs billboard words -------------------------------------
+  for (u32 r = 0; r < lay.procs; ++r) {
+    const u32 msg_word = ep.port_.peek_u32(lay.msg_flag_addr(r, ep.me_));
+    if (msg_word != ep.sent_flag_mirror_[r])
+      fail(where, "MESSAGE word for receiver " + std::to_string(r) +
+                      " disagrees with sent_flag_mirror_");
+    const u32 ack_word = ep.port_.peek_u32(lay.ack_flag_addr(r, ep.me_));
+    if (ack_word != ep.ack_out_mirror_[r])
+      fail(where, "ACK word toward sender " + std::to_string(r) +
+                      " disagrees with ack_out_mirror_");
+    // Inbound ACK toggles GC has not reconciled yet must name slots still
+    // pending at that receiver (anything else is a protocol violation).
+    const u32 changed = ep.port_.peek_u32(lay.ack_flag_addr(ep.me_, r)) ^ ep.ack_base_[r];
+    for (u32 b = 0; b < ep.cfg_.slots; ++b) {
+      if (!((changed >> b) & 1u)) continue;
+      if (!ep.slot_[b].in_use || !((ep.slot_[b].pending >> r) & 1u))
+        fail(where, "receiver " + std::to_string(r) + " acked slot " + std::to_string(b) +
+                        " which is not pending at it");
+    }
+  }
+
+  // -- per-sender sequence monotonicity ------------------------------------
+  for (u32 s = 0; s < lay.procs; ++s) {
+    u32 prev = ep.last_deliv_seq_[s];
+    for (const Endpoint::Incoming& in : ep.inq_[s]) {
+      if (prev != 0 && seq_leq(in.seq, prev))
+        fail(where, "sender " + std::to_string(s) + " queue seq " + std::to_string(in.seq) +
+                        " not after " + std::to_string(prev));
+      prev = in.seq;
+    }
+  }
+}
+
+}  // namespace scrnet::bbp

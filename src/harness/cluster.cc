@@ -1,6 +1,36 @@
 #include "harness/cluster.h"
 
+#include <string>
+
+#include "obs/counters.h"
+
 namespace scrnet::harness {
+
+namespace {
+/// Per-rank stats flow into the registry only when someone armed it
+/// (SCRNET_COUNTERS or an explicit enable); otherwise zero work.
+void publish_rank(const bbp::Endpoint& ep) {
+  if (!obs::Counters::enabled()) return;
+  ep.publish_counters(obs::Counters::global(),
+                      "bbp.rank" + std::to_string(ep.rank()));
+}
+
+void publish_rank(const scrmpi::Mpi& mpi, u32 r) {
+  if (!obs::Counters::enabled()) return;
+  mpi.publish_counters(obs::Counters::global(), "mpi.rank" + std::to_string(r));
+}
+
+void publish_run(const scramnet::Ring& ring, const sim::Simulation& sim) {
+  if (!obs::Counters::enabled()) return;
+  ring.publish_counters(obs::Counters::global(), "ring");
+  obs::Counters::global().add("sim", "events_executed", sim.events_executed());
+}
+
+void publish_run(const sim::Simulation& sim) {
+  if (!obs::Counters::enabled()) return;
+  obs::Counters::global().add("sim", "events_executed", sim.events_executed());
+}
+}  // namespace
 
 SimTime run_scramnet_bbp(
     u32 nodes, const std::function<void(sim::Process&, bbp::Endpoint&)>& body,
@@ -13,9 +43,11 @@ SimTime run_scramnet_bbp(
       scramnet::SimHostPort port(ring, r, p, opts.host);
       bbp::Endpoint ep(port, nodes, r, opts.bbp);
       body(p, ep);
+      publish_rank(ep);
     });
   }
   sim.run();
+  publish_run(ring, sim);
   return sim.now();
 }
 
@@ -32,9 +64,12 @@ SimTime run_scramnet_mpi(
       scrmpi::BbpChannel dev(ep);
       scrmpi::Mpi mpi(dev, opts.mpi);
       body(p, mpi);
+      publish_rank(ep);
+      publish_rank(mpi, r);
     });
   }
   sim.run();
+  publish_run(ring, sim);
   return sim.now();
 }
 
@@ -57,9 +92,12 @@ SimTime run_hybrid_mpi(u32 nodes, TcpFabricKind bulk_kind, u32 threshold,
       scrmpi::HybridChannel dev(low, high, threshold);
       scrmpi::Mpi mpi(dev, sopts.mpi);
       body(p, mpi);
+      publish_rank(ep);
+      publish_rank(mpi, r);
     });
   }
   sim.run();
+  publish_run(ring, sim);
   return sim.now();
 }
 
@@ -100,9 +138,11 @@ SimTime run_tcp_mpi(u32 nodes, TcpFabricKind kind,
                 scrmpi::SockChannel dev(stack, p, nodes);
                 scrmpi::Mpi mpi(dev, opts.mpi);
                 body(p, mpi);
+                publish_rank(mpi, r);
               });
   }
   sim.run();
+  publish_run(sim);
   return sim.now();
 }
 

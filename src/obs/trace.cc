@@ -1,0 +1,133 @@
+#include "obs/trace.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <ostream>
+
+#include "obs/counters.h"
+
+namespace scrnet::obs {
+
+const char* layer_name(Layer l) {
+  switch (l) {
+    case Layer::kSim: return "sim";
+    case Layer::kRing: return "scramnet";
+    case Layer::kBbp: return "bbp";
+    case Layer::kMpi: return "scrmpi";
+  }
+  return "?";
+}
+
+Tracer& Tracer::global() {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::span(Layer layer, u32 node, const char* name, SimTime t0, SimTime t1) {
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.push_back(Event{name, t0, t1 - t0, node, layer});
+}
+
+void Tracer::instant(Layer layer, u32 node, const char* name, SimTime t) {
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.push_back(Event{name, t, -1, node, layer});
+}
+
+usize Tracer::events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.clear();
+}
+
+namespace {
+/// Trace-event timestamps are microseconds; SimTime is picoseconds.
+double trace_us(SimTime t) { return to_us(t); }
+
+void write_event(std::ostream& os, const char* name, Layer layer, u32 node,
+                 SimTime t0, SimTime dur) {
+  os << "{\"name\":\"" << name << "\",\"cat\":\"" << layer_name(layer)
+     << "\",\"ph\":\"" << (dur < 0 ? 'i' : 'X') << "\",\"ts\":" << trace_us(t0);
+  if (dur >= 0) os << ",\"dur\":" << trace_us(dur);
+  if (dur < 0) os << ",\"s\":\"t\"";
+  os << ",\"pid\":" << node << ",\"tid\":" << static_cast<u32>(layer) << "}";
+}
+}  // namespace
+
+void Tracer::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  // Name each (pid, tid) pair seen so Perfetto shows node/layer labels
+  // instead of bare numbers.
+  std::map<u32, u32> layers_of_node;  // node -> bitmask of layers seen
+  for (const Event& e : events_) layers_of_node[e.node] |= 1u << static_cast<u32>(e.layer);
+  for (const auto& [node, mask] : layers_of_node) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << node
+       << ",\"args\":{\"name\":\"node" << node << "\"}}";
+    for (u32 l = 0; l < kLayers; ++l) {
+      if (!((mask >> l) & 1u)) continue;
+      os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << node
+         << ",\"tid\":" << l << ",\"args\":{\"name\":\""
+         << layer_name(static_cast<Layer>(l)) << "\"}}";
+    }
+  }
+  for (const Event& e : events_) {
+    if (!first) os << ",";
+    first = false;
+    write_event(os, e.name, e.layer, e.node, e.t0, e.dur);
+  }
+  os << "]}\n";
+}
+
+bool Tracer::write_json_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    std::cerr << "obs: cannot write trace to " << path << "\n";
+    return false;
+  }
+  write_json(f);
+  return true;
+}
+
+namespace {
+/// Process-lifetime hook: SCRNET_TRACE=<path> arms the tracer at startup
+/// and dumps the JSON at exit; SCRNET_COUNTERS=<path|-> does the same for
+/// the counter registry ("-" prints the table to stderr). Constructing the
+/// singletons here first guarantees they outlive this hook.
+struct EnvHook {
+  const char* trace_path;
+  const char* counters_path;
+
+  EnvHook() {
+    (void)Tracer::global();
+    (void)Counters::global();
+    trace_path = std::getenv("SCRNET_TRACE");
+    counters_path = std::getenv("SCRNET_COUNTERS");
+    if (trace_path && *trace_path) Tracer::global().enable(true);
+    if (counters_path && *counters_path) Counters::global().enable(true);
+  }
+
+  ~EnvHook() {
+    if (trace_path && *trace_path) Tracer::global().write_json_file(trace_path);
+    if (counters_path && *counters_path) {
+      if (std::string_view(counters_path) == "-") {
+        Counters::global().write_table(std::cerr);
+      } else if (!Counters::global().write_json_file(counters_path)) {
+        Counters::global().write_table(std::cerr);
+      }
+    }
+  }
+};
+
+EnvHook env_hook;
+}  // namespace
+
+}  // namespace scrnet::obs

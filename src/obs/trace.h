@@ -1,0 +1,124 @@
+// Virtual-time tracing: span/instant events recorded against the simulated
+// clock and exported as Chrome trace-event JSON (chrome://tracing /
+// Perfetto "Open trace file").
+//
+// Every protocol layer is instrumented with TRACE_SPAN / TRACE_INSTANT
+// hooks; recording is off by default and the disabled path is a single
+// static-bool branch, so the hooks are free to leave compiled into release
+// builds (BM_BbpPingPongSim guards the <2% budget). Recording never
+// consumes *virtual* time -- it only reads the clock -- so enabling the
+// tracer does not change any simulated result; the figure benches stay
+// bit-identical with tracing on or off.
+//
+// Mapping onto the trace-event model: pid = simulated node/rank,
+// tid = protocol layer (sim / scramnet / bbp / scrmpi), ts/dur in
+// microseconds of virtual time. Names must be string literals (the tracer
+// stores the pointer, not a copy).
+//
+// Environment: SCRNET_TRACE=<path> enables recording at startup and writes
+// the JSON to <path> at process exit (used by the CI trace artifact).
+#pragma once
+
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace scrnet::obs {
+
+/// Instrumented protocol layers, rendered as one trace "thread" per layer
+/// within each node's process group.
+enum class Layer : u8 { kSim = 0, kRing = 1, kBbp = 2, kMpi = 3 };
+inline constexpr u32 kLayers = 4;
+
+const char* layer_name(Layer l);
+
+class Tracer {
+ public:
+  /// Process-wide tracer instance (simulations are single-threaded except
+  /// for the real-threads backends, which share it under a mutex).
+  static Tracer& global();
+
+  /// Disabled-path check: a single static load + branch, no call.
+  static bool enabled() { return enabled_; }
+  void enable(bool on) { enabled_ = on; }
+
+  /// Record a complete ("X") event covering [t0, t1] of virtual time.
+  /// `name` must have static storage duration.
+  void span(Layer layer, u32 node, const char* name, SimTime t0, SimTime t1);
+  /// Record an instant ("i") event at virtual time t.
+  void instant(Layer layer, u32 node, const char* name, SimTime t);
+
+  usize events() const;
+  void clear();
+
+  /// Emit the Chrome trace-event JSON document (traceEvents array plus
+  /// process/thread naming metadata).
+  void write_json(std::ostream& os) const;
+  /// Write to a file; false (with a note on stderr) if it cannot be opened.
+  bool write_json_file(const std::string& path) const;
+
+ private:
+  struct Event {
+    const char* name;
+    SimTime t0;
+    SimTime dur;  // <0 marks an instant event
+    u32 node;
+    Layer layer;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+
+  static inline bool enabled_ = false;
+};
+
+/// RAII virtual-time span. Captures the clock object by pointer and reads
+/// it again at scope exit; when the tracer is disabled construction is just
+/// the enabled() branch. `clock` is anything with SimTime now() const
+/// (MemPort, ChannelDevice, Process, Simulation) and must outlive the span.
+class Span {
+ public:
+  template <typename Clock>
+  Span(Layer layer, u32 node, const char* name, const Clock& clock)
+      : layer_(layer), node_(node), name_(name) {
+    if (!Tracer::enabled()) return;
+    obj_ = &clock;
+    read_ = [](const void* o) { return static_cast<const Clock*>(o)->now(); };
+    t0_ = read_(obj_);
+  }
+
+  ~Span() {
+    if (obj_) Tracer::global().span(layer_, node_, name_, t0_, read_(obj_));
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const void* obj_ = nullptr;
+  SimTime (*read_)(const void*) = nullptr;
+  SimTime t0_ = 0;
+  Layer layer_;
+  u32 node_;
+  const char* name_;
+};
+
+#define SCRNET_OBS_CAT2(a, b) a##b
+#define SCRNET_OBS_CAT(a, b) SCRNET_OBS_CAT2(a, b)
+
+/// Open a span covering the rest of the enclosing scope.
+#define TRACE_SPAN(layer, node, name, clock) \
+  ::scrnet::obs::Span SCRNET_OBS_CAT(scrnet_obs_span_, __LINE__)((layer), (node), (name), (clock))
+
+/// Record a point event at the clock's current virtual time.
+#define TRACE_INSTANT(layer, node, name, clock)                                        \
+  do {                                                                                 \
+    if (::scrnet::obs::Tracer::enabled())                                              \
+      ::scrnet::obs::Tracer::global().instant((layer), (node), (name), (clock).now()); \
+  } while (0)
+
+}  // namespace scrnet::obs

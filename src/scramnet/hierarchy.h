@@ -125,6 +125,8 @@ class HierarchyPort final : public MemPort {
   void poll_pause() override { proc_.delay(t_.poll_gap); }
   void cpu_delay(SimTime dt) override { proc_.delay(dt); }
 
+  u32 peek_u32(u32 word_addr) override { return h_.host_read(node_, word_addr); }
+
  private:
   RingHierarchy& h_;
   u32 node_;

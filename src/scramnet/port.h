@@ -45,6 +45,12 @@ class MemPort {
   /// Current virtual time (0 on ports without a clock); statistics only.
   virtual SimTime now() const { return 0; }
 
+  /// Debug read of the local replica with no virtual-time cost and no bus
+  /// transaction -- for invariant checkers (bbp::Validator) that must not
+  /// perturb simulated timing. Timed ports override this; the default is
+  /// only correct where read_u32 is already free.
+  virtual u32 peek_u32(u32 word_addr) { return read_u32(word_addr); }
+
   /// Host-side backoff between polls of a flag word.
   virtual void poll_pause() = 0;
   /// Account local CPU work (protocol bookkeeping). No-op on real threads.

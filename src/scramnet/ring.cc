@@ -3,6 +3,9 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
+
 namespace scrnet::scramnet {
 
 Ring::Ring(sim::Simulation& sim, RingConfig cfg) : sim_(sim), cfg_(cfg) {
@@ -34,6 +37,7 @@ SimTime Ring::inject_packet(u32 src, u32 word_addr, std::span<const u32> words, 
   ring_free_ = done;
   packets_.inc();
   words_.inc(words.size());
+  TRACE_INSTANT(obs::Layer::kRing, src, "ring.inject", sim_);
 
   // The packet visits each downstream node after k hop latencies past
   // serialization. Link state is sampled here, at injection, exactly as the
@@ -174,6 +178,13 @@ void Ring::set_interrupt(u32 node, u32 lo_addr, u32 hi_addr,
 }
 
 void Ring::clear_interrupt(u32 node) { irq_[node] = IrqRange{}; }
+
+void Ring::publish_counters(obs::Counters& c, std::string_view group) const {
+  c.add(group, "packets_sent", packets_sent());
+  c.add(group, "words_replicated", words_replicated());
+  c.add(group, "interrupts_fired", interrupts_fired());
+  c.add(group, "packets_lost", packets_lost());
+}
 
 SimTime Ring::full_propagation_bound() const {
   return cfg_.packet_occupancy(cfg_.mode == PacketMode::kFixed4 ? 4u

@@ -17,12 +17,17 @@
 #include <functional>
 #include <limits>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "common/stats.h"
 #include "common/types.h"
 #include "scramnet/config.h"
 #include "sim/simulation.h"
+
+namespace scrnet::obs {
+class Counters;
+}
 
 namespace scrnet::scramnet {
 
@@ -76,6 +81,9 @@ class Ring {
   /// Packet-walk pool high-water mark (== max packets ever in flight);
   /// steady-state traffic reuses these slots without allocating.
   usize walk_pool_size() const { return walk_pool_.size(); }
+
+  /// Publish the fabric counters into the registry under `group`.
+  void publish_counters(obs::Counters& c, std::string_view group) const;
 
  private:
   struct IrqRange {

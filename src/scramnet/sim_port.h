@@ -55,6 +55,8 @@ class SimHostPort final : public MemPort {
   void poll_pause() override { proc_.delay(t_.poll_gap); }
   void cpu_delay(SimTime dt) override { proc_.delay(dt); }
 
+  u32 peek_u32(u32 word_addr) override { return ring_.host_read(node_, word_addr); }
+
   // -- DMA (Section 2: "programmed I/O or DMA") -----------------------------
 
   bool has_dma() const override { return true; }

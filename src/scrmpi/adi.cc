@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace scrnet::scrmpi {
 
 namespace {
@@ -43,6 +45,7 @@ void Engine::free_req(u32 idx) {
 // ---------------------------------------------------------------------------
 
 Request Engine::isend(u32 dst, u16 ctx, i32 tag, std::span<const u8> data) {
+  TRACE_SPAN(obs::Layer::kMpi, rank(), "adi.isend", dev_);
   const u32 idx = alloc_req();
   Req& r = reqs_[idx];
   dev_.cpu(costs_.adi_dispatch);
@@ -56,7 +59,7 @@ Request Engine::isend(u32 dst, u16 ctx, i32 tag, std::span<const u8> data) {
   if (data.size() <= dev_.eager_limit()) {
     // Short/eager: envelope + payload leave in one packet; the request is
     // complete as soon as the channel accepts it.
-    h.kind = data.size() <= 1024 ? PktKind::kShort : PktKind::kEager;
+    h.kind = data.size() <= dev_.short_limit() ? PktKind::kShort : PktKind::kEager;
     dev_.cpu(costs_.channel_pack +
              scaled(dev_.pack_cost(static_cast<u32>(data.size()))));
     dev_.send_packet(dst, h, data);
@@ -86,6 +89,7 @@ Request Engine::isend(u32 dst, u16 ctx, i32 tag, std::span<const u8> data) {
 // ---------------------------------------------------------------------------
 
 Request Engine::irecv(i32 src, u16 ctx, i32 tag, std::span<u8> buf) {
+  TRACE_SPAN(obs::Layer::kMpi, rank(), "adi.irecv", dev_);
   const u32 idx = alloc_req();
   Req& r = reqs_[idx];
   r.want_src = src;
@@ -245,6 +249,7 @@ void Engine::spin_until_done(u32 idx) {
 }
 
 MpiStatus Engine::wait(Request req) {
+  TRACE_SPAN(obs::Layer::kMpi, rank(), "adi.wait", dev_);
   assert(req.valid() && req.idx < reqs_.size());
   assert(reqs_[req.idx].state != Req::State::kFree && "wait on freed request");
   spin_until_done(req.idx);

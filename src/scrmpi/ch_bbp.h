@@ -45,6 +45,10 @@ class BbpChannel final : public ChannelDevice {
     return ep_.layout().max_message_bytes() / 4;
   }
 
+  /// Every packet is exactly one BBP message, so anything eager is also
+  /// "short": a single network unit with the envelope inline.
+  u32 short_limit() const override { return eager_limit(); }
+
   bbp::Endpoint& endpoint() { return ep_; }
 
  private:

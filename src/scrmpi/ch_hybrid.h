@@ -16,6 +16,7 @@
 // order), so they need no preamble.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <map>
 #include <vector>
@@ -63,6 +64,12 @@ class HybridChannel final : public ChannelDevice {
   /// Large sends should stay eager on the bulk network when possible.
   u32 eager_limit() const override {
     return std::max(threshold_, high_.eager_limit() - kPreambleBytes);
+  }
+
+  /// Only payloads routed to the low-latency device can leave in a single
+  /// network unit; anything above threshold_ streams on the bulk network.
+  u32 short_limit() const override {
+    return std::min(threshold_, low_.short_limit());
   }
 
   u32 threshold() const { return threshold_; }

@@ -118,6 +118,12 @@ class ChannelDevice {
   /// Largest payload the device prefers to carry eagerly; above this the
   /// ADI switches to rendezvous.
   virtual u32 eager_limit() const = 0;
+
+  /// Largest payload the device can carry in a single network unit
+  /// (envelope + payload inline); eager packets up to eager_limit() may
+  /// need device-side streaming. The ADI marks packets at or below this
+  /// kShort and larger eager packets kEager.
+  virtual u32 short_limit() const = 0;
 };
 
 }  // namespace scrnet::scrmpi

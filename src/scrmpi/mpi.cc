@@ -5,6 +5,10 @@
 #include <cstring>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+
+#include "obs/counters.h"
+#include "obs/trace.h"
 
 namespace scrnet::scrmpi {
 
@@ -72,6 +76,7 @@ Request Mpi::irecv(void* buf, u32 count, Datatype dt, i32 src, i32 tag,
 
 void Mpi::send(const void* buf, u32 count, Datatype dt, i32 dest, i32 tag,
                const Comm& comm) {
+  TRACE_SPAN(obs::Layer::kMpi, engine_.rank(), "mpi.send", engine_.device());
   TimedCall tc(*this);
   ++stats_.sends;
   stats_.bytes_sent += static_cast<u64>(count) * datatype_size(dt);
@@ -80,6 +85,7 @@ void Mpi::send(const void* buf, u32 count, Datatype dt, i32 dest, i32 tag,
 
 MpiStatus Mpi::recv(void* buf, u32 count, Datatype dt, i32 src, i32 tag,
                     const Comm& comm) {
+  TRACE_SPAN(obs::Layer::kMpi, engine_.rank(), "mpi.recv", engine_.device());
   TimedCall tc(*this);
   ++stats_.recvs;
   const MpiStatus st = wait(irecv(buf, count, dt, src, tag, comm), comm);
@@ -283,6 +289,7 @@ void Mpi::barrier_native(const Comm& comm) {
 
 void Mpi::bcast(void* buf, u32 count, Datatype dt, i32 root, const Comm& comm) {
   assert(root >= 0 && static_cast<u32>(root) < comm.size());
+  TRACE_SPAN(obs::Layer::kMpi, engine_.rank(), "mpi.bcast", engine_.device());
   TimedCall tc(*this);
   ++stats_.bcasts;
   engine_.device().cpu(engine_.costs().binding);
@@ -294,6 +301,7 @@ void Mpi::bcast(void* buf, u32 count, Datatype dt, i32 root, const Comm& comm) {
 }
 
 void Mpi::barrier(const Comm& comm) {
+  TRACE_SPAN(obs::Layer::kMpi, engine_.rank(), "mpi.barrier", engine_.device());
   TimedCall tc(*this);
   ++stats_.barriers;
   engine_.device().cpu(engine_.costs().binding);
@@ -305,6 +313,7 @@ void Mpi::barrier(const Comm& comm) {
 
 void Mpi::reduce(const void* sendbuf, void* recvbuf, u32 count, Datatype dt,
                  ReduceOp op, i32 root, const Comm& comm) {
+  TRACE_SPAN(obs::Layer::kMpi, engine_.rank(), "mpi.reduce", engine_.device());
   TimedCall tc(*this);
   ++stats_.reduces;
   engine_.device().cpu(engine_.costs().binding);
@@ -481,6 +490,24 @@ void Mpi::alltoall(const void* sendbuf, void* recvbuf, u32 count, Datatype dt,
     engine_.wait(rr);
     engine_.wait(sr);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------------
+
+void Mpi::publish_counters(obs::Counters& c, std::string_view group) const {
+  c.add(group, "sends", stats_.sends);
+  c.add(group, "recvs", stats_.recvs);
+  c.add(group, "bcasts", stats_.bcasts);
+  c.add(group, "barriers", stats_.barriers);
+  c.add(group, "reduces", stats_.reduces);
+  c.add(group, "gathers", stats_.gathers);
+  c.add(group, "scatters", stats_.scatters);
+  c.add(group, "bytes_sent", stats_.bytes_sent);
+  c.add(group, "bytes_received", stats_.bytes_received);
+  c.add(group, "time_in_mpi_ns", static_cast<u64>(to_ns(stats_.time_in_mpi)));
+  c.add(group, "packets_handled", engine_.packets_handled());
 }
 
 // ---------------------------------------------------------------------------

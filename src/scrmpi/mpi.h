@@ -11,10 +11,15 @@
 
 #include <map>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "scrmpi/adi.h"
 #include "scrmpi/types.h"
+
+namespace scrnet::obs {
+class Counters;
+}
 
 namespace scrnet::scrmpi {
 
@@ -118,6 +123,10 @@ class Mpi {
 
   /// Per-rank usage counters (virtual time + calls + bytes).
   const CallStats& stats() const { return stats_; }
+
+  /// Publish stats() plus the engine's packet count into the registry
+  /// under `group` (e.g. "mpi.rank0").
+  void publish_counters(obs::Counters& c, std::string_view group) const;
 
   // -- communicator management --------------------------------------------
   /// Collective over `comm`: all members must call in the same order.

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "obs/trace.h"
+
 namespace scrnet::sim {
 
 namespace {
@@ -27,6 +29,7 @@ void Process::delay(SimTime dt) {
 void Process::yield() { delay(0); }
 
 void Process::park() {
+  TRACE_SPAN(obs::Layer::kSim, id_, "sim.parked", *this);
   state_ = State::kParked;
   ++park_token_;
   to_kernel();
@@ -204,6 +207,7 @@ Process& Simulation::spawn(std::string name, std::function<void(Process&)> body)
   procs_.push_back(std::unique_ptr<Process>(
       new Process(*this, static_cast<u32>(procs_.size()), std::move(name), std::move(body))));
   Process& p = *procs_.back();
+  TRACE_INSTANT(obs::Layer::kSim, p.id(), "sim.spawn", *this);
   p.state_ = Process::State::kReady;
   schedule_resume(p, now_);
   return p;

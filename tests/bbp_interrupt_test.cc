@@ -131,6 +131,39 @@ TEST(BbpInterrupt, SenderStallWokenByAck) {
   sim.run();
 }
 
+TEST(BbpInterrupt, DrainSleepsUntilAllAcksArrive) {
+  // drain() on an interrupt-mode endpoint must sleep between ACK toggles
+  // (not busy-poll) and return only once every outstanding slot is
+  // reclaimed, even when the receiver is very slow.
+  sim::Simulation sim;
+  Ring ring(sim, RingConfig{.nodes = 2, .bank_words = 1u << 14});
+  constexpr int kMsgs = 4;
+  SimTime drained_at = 0;
+  sim.spawn("tx", [&](sim::Process& p) {
+    SimHostPort port(ring, 0, p);
+    Endpoint ep(port, 2, 0, irq_cfg());
+    for (int i = 0; i < kMsgs; ++i)
+      ASSERT_TRUE(ep.send(1, make_msg(16, static_cast<u32>(i))).ok());
+    EXPECT_GT(ep.inflight(), 0u);
+    ep.drain();
+    EXPECT_EQ(ep.inflight(), 0u);
+    drained_at = p.now();
+  });
+  sim.spawn("rx", [&](sim::Process& p) {
+    SimHostPort port(ring, 1, p);
+    Endpoint ep(port, 2, 1);
+    std::vector<u8> buf(16);
+    for (int i = 0; i < kMsgs; ++i) {
+      p.delay(us(100));  // slow consumer: last ACK lands after 400us
+      ASSERT_TRUE(ep.recv(0, buf).ok());
+      ASSERT_TRUE(check_pattern(buf, static_cast<u32>(i)));
+    }
+  });
+  sim.run();
+  // The drain must have waited for the slow receiver's final ACK.
+  EXPECT_GE(drained_at, us(400));
+}
+
 TEST(BbpInterrupt, LatencyCostIsTheDispatch) {
   auto oneway = [](Config cfg) {
     sim::Simulation sim;

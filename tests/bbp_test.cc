@@ -340,6 +340,73 @@ TEST(Bbp, BadRanksRejected) {
   s.run();
 }
 
+// Regression: with procs == 32 the destination-mask range check used to
+// compute dest_mask >> 32 -- undefined behavior that on x86 keeps the mask
+// unchanged, so EVERY send at the layout's maximum process count failed
+// with InvalidArg.
+TEST(Bbp, ThirtyTwoProcsCanSendAndMcast) {
+  constexpr u32 kProcs = 32;
+  SimSession s(kProcs, {}, RingConfig{.bank_words = 1u << 15});
+  s.rank(0, [&](sim::Process&, Endpoint& ep) {
+    std::vector<u32> all(kProcs - 1);
+    for (u32 r = 1; r < kProcs; ++r) all[r - 1] = r;
+    ASSERT_TRUE(ep.mcast(all, make_msg(16, 5)).ok());
+    std::vector<u8> buf(16);
+    auto r = ep.recv(kProcs - 1, buf);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(check_pattern(buf, 6));
+    ep.drain();
+  });
+  for (u32 r = 1; r < kProcs; ++r) {
+    s.rank(r, [&, r](sim::Process&, Endpoint& ep) {
+      std::vector<u8> buf(16);
+      ASSERT_TRUE(ep.recv(0, buf).ok());
+      EXPECT_TRUE(check_pattern(buf, 5));
+      if (r == kProcs - 1) ASSERT_TRUE(ep.send(0, make_msg(16, 6)).ok());
+      ep.drain();
+    });
+  }
+  s.sim().set_time_limit(ms(50));  // fail (not hang) if a send is rejected
+  s.run();
+}
+
+// Regression: a zero-length message left live at the front of the queue
+// used to alias tail_ onto head_ (with data_empty_ == false), which reads
+// as a FULL data partition -- later sends reported NoSpace with the
+// billboard actually empty.
+TEST(Bbp, ZeroLengthLiveSlotDoesNotCorruptAllocator) {
+  SimSession s(2, {}, RingConfig{.bank_words = 1u << 14});
+  s.rank(0, [&](sim::Process& p, Endpoint& ep) {
+    const u32 max_bytes = ep.layout().max_message_bytes();
+    ASSERT_TRUE(ep.send(1, make_msg(64, 1)).ok());  // payload-bearing
+    ASSERT_TRUE(ep.send(1, {}).ok());               // zero-length
+    // Wait until the first send is acked (receiver consumes it promptly)
+    // while the zero-length one is still live.
+    p.delay(us(200));
+    // The data partition holds no payload now; a maximum-size message must
+    // fit. Pre-fix this returned NoSpace.
+    ASSERT_TRUE(ep.try_send(1, make_msg(max_bytes, 2)).ok());
+    ep.drain();
+  });
+  s.rank(1, [&](sim::Process& p, Endpoint& ep) {
+    const u32 max_bytes = ep.layout().max_message_bytes();
+    std::vector<u8> buf(max_bytes);
+    auto a = ep.recv(0, buf);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a.value().len, 64u);
+    p.delay(us(400));  // hold the zero-length message in flight meanwhile
+    auto b = ep.recv(0, buf);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(b.value().len, 0u);
+    auto c = ep.recv(0, buf);
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(c.value().len, max_bytes);
+    EXPECT_TRUE(check_pattern(buf, 2));
+  });
+  s.sim().set_time_limit(ms(50));  // fail (not hang) if the big send is lost
+  s.run();
+}
+
 TEST(Bbp, PaperApiVeneer) {
   sim::Simulation sim;
   Ring ring(sim, RingConfig{.nodes = 2, .bank_words = 4096});

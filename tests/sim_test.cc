@@ -258,6 +258,81 @@ TEST(Mailbox, PopForTimesOutThenSucceeds) {
   sim.run();
 }
 
+TEST(Mailbox, PopForZeroTimeoutPollsWithoutBlocking) {
+  Simulation sim;
+  Mailbox<int> box(sim);
+  sim.spawn("consumer", [&](Process& p) {
+    const SimTime t0 = p.now();
+    EXPECT_FALSE(box.pop_for(p, 0).has_value());  // empty: immediate miss
+    EXPECT_EQ(p.now(), t0);                       // ...without advancing time
+    box.push(3);
+    auto hit = box.pop_for(p, 0);  // non-empty: immediate hit
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 3);
+    EXPECT_EQ(p.now(), t0);
+  });
+  sim.run();
+}
+
+// A push landing exactly at the pop_for deadline resolves deterministically
+// by event order: whichever side queued its time-T event first wins.
+TEST(Mailbox, PopForExpiryExactlyAtPushConsumerFirst) {
+  Simulation sim;
+  Mailbox<int> box(sim);
+  sim.spawn("consumer", [&](Process& p) {
+    // Timeout event enqueued before the producer's resume: the wait is
+    // cancelled before the push runs, so this attempt misses...
+    EXPECT_FALSE(box.pop_for(p, us(5)).has_value());
+    EXPECT_EQ(p.now(), us(5));
+    // ...and once the producer's same-time event runs, the item is there.
+    p.yield();
+    auto hit = box.pop_for(p, 0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 9);
+  });
+  sim.spawn("producer", [&](Process& p) {
+    p.delay(us(5));
+    box.push(9);
+  });
+  sim.run();
+}
+
+TEST(Mailbox, PopForExpiryExactlyAtPushProducerFirst) {
+  Simulation sim;
+  Mailbox<int> box(sim);
+  sim.spawn("producer", [&](Process& p) {
+    p.delay(us(5));
+    box.push(11);
+  });
+  sim.spawn("consumer", [&](Process& p) {
+    // The producer's resume event at t=5us precedes the timeout event, so
+    // the notify wins the tie and the pop succeeds at the deadline.
+    auto hit = box.pop_for(p, us(5));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 11);
+    EXPECT_EQ(p.now(), us(5));
+  });
+  sim.run();
+}
+
+TEST(Mailbox, PopForRearmsAfterItemStolenMidWait) {
+  // The notify arrives but the item is consumed (try_pop) before the waiter
+  // resumes: pop_for must re-arm for the remaining time, then miss at the
+  // original deadline -- not return an empty optional early or hang.
+  Simulation sim;
+  Mailbox<int> box(sim);
+  sim.spawn("consumer", [&](Process& p) {
+    EXPECT_FALSE(box.pop_for(p, us(10)).has_value());
+    EXPECT_EQ(p.now(), us(10));  // full timeout despite the us(5) wakeup
+  });
+  sim.spawn("thief", [&](Process& p) {
+    p.delay(us(5));
+    box.push(1);                             // wakes the consumer...
+    EXPECT_EQ(box.try_pop().value_or(0), 1); // ...but steals the item first
+  });
+  sim.run();
+}
+
 TEST(Simulation, TimeLimitAborts) {
   Simulation sim;
   sim.set_time_limit(us(50));
