@@ -8,6 +8,7 @@
 
 #include "bench_util.h"
 #include "harness/benchops.h"
+#include "sweep/runner.h"
 
 using namespace scrnet;
 using namespace scrnet::bench;
@@ -15,33 +16,47 @@ using namespace scrnet::harness;
 
 namespace {
 
-void sweep(const std::vector<u32>& sizes, const char* label) {
-  Series api{"SCRAMNet API", {}}, mpi{"MPI", {}}, delta{"MPI - API", {}};
-  for (u32 s : sizes) {
-    const double a = bbp_oneway_us(s);
-    const double m = mpi_scramnet_oneway_us(s);
-    api.us.push_back(a);
-    mpi.us.push_back(m);
-    delta.us.push_back(m - a);
-  }
+struct Panel {
+  Series api, mpi, delta;
+};
+
+Panel measure(const std::vector<u32>& sizes, sweep::Runner& runner) {
+  Panel pn{{"SCRAMNet API", bbp_oneway_us_sweep(sizes, runner)},
+           {"MPI", mpi_scramnet_oneway_us_sweep(sizes, runner)},
+           {"MPI - API", {}}};
+  for (usize i = 0; i < sizes.size(); ++i)
+    pn.delta.us.push_back(pn.mpi.us[i] - pn.api.us[i]);
+  return pn;
+}
+
+void print_panel(const std::vector<u32>& sizes, const Panel& pn,
+                 const char* label) {
   std::cout << "\n-- " << label << " --\n";
-  print_series(sizes, {api, mpi, delta});
+  print_series(sizes, {pn.api, pn.mpi, pn.delta});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sweep::Runner runner(parse_jobs(argc, argv));
+
   header("Figure 1: SCRAMNet one-way latency, BillBoard API vs MPI",
          "Moorthy et al., IPPS 1999, Figure 1 + Section 5 headline numbers");
 
-  sweep({0, 4, 8, 16, 32, 48, 64}, "small messages (0-64 bytes)");
-  sweep({0, 128, 256, 384, 512, 640, 768, 896, 1000}, "0-1000 bytes");
+  const std::vector<u32> small{0, 4, 8, 16, 32, 48, 64};
+  const std::vector<u32> large{0, 128, 256, 384, 512, 640, 768, 896, 1000};
+  const Panel psmall = measure(small, runner);
+  const Panel plarge = measure(large, runner);
+  print_panel(small, psmall, "small messages (0-64 bytes)");
+  print_panel(large, plarge, "0-1000 bytes");
 
   std::cout << "\nHeadline checks:\n";
-  const double api0 = bbp_oneway_us(0);
-  const double api4 = bbp_oneway_us(4);
-  const double mpi0 = mpi_scramnet_oneway_us(0);
-  const double mpi4 = mpi_scramnet_oneway_us(4);
+  // The sweeps above already measured these points (deterministic
+  // simulations: re-running would reproduce the exact same doubles).
+  const double api0 = psmall.api.us[0];
+  const double api4 = psmall.api.us[1];
+  const double mpi0 = psmall.mpi.us[0];
+  const double mpi4 = psmall.mpi.us[1];
   check("API 0-byte one-way", 6.5, api0, 0.15);
   check("API 4-byte one-way", 7.8, api4, 0.15);
   check("MPI 0-byte one-way", 44.0, mpi0, 0.15);
@@ -54,7 +69,7 @@ int main() {
   // Fast Ethernet (a strictly constant overhead could not: SCRAMNet-MPI
   // would then stay below Fast-Ethernet-MPI far beyond 1 KB).
   const double gap0 = mpi0 - api0;
-  const double gap64 = mpi_scramnet_oneway_us(64) - bbp_oneway_us(64);
+  const double gap64 = psmall.delta.us.back();
   check_shape("MPI adds a near-constant overhead for small messages (gap@0B=" +
                   Table::num(gap0) + "us, gap@64B=" + Table::num(gap64) + "us)",
               gap64 < 1.5 * gap0);

@@ -12,27 +12,27 @@
 
 #include "bench_util.h"
 #include "harness/benchops.h"
+#include "sweep/runner.h"
 
 using namespace scrnet;
 using namespace scrnet::bench;
 using namespace scrnet::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  sweep::Runner runner(parse_jobs(argc, argv));
+
   header("Figure 2: API-layer one-way latency across networks",
          "Moorthy et al., IPPS 1999, Figure 2");
 
   const std::vector<u32> sizes{0,    4,    64,   128,  256,  512, 750,
                                1000, 1500, 2000, 3000, 4000, 5000};
-  Series scr{"SCRAMNet API", {}}, fe{"FastEth TCP", {}}, atm{"ATM TCP", {}},
-      myr_api{"Myrinet API", {}}, myr_tcp{"Myrinet TCP", {}};
-
-  for (u32 s : sizes) {
-    scr.us.push_back(bbp_oneway_us(s));
-    fe.us.push_back(tcp_api_oneway_us(TcpFabricKind::kFastEthernet, s));
-    atm.us.push_back(tcp_api_oneway_us(TcpFabricKind::kAtm, s));
-    myr_api.us.push_back(myrinet_api_oneway_us(s));
-    myr_tcp.us.push_back(tcp_api_oneway_us(TcpFabricKind::kMyrinet, s));
-  }
+  Series scr{"SCRAMNet API", bbp_oneway_us_sweep(sizes, runner)},
+      fe{"FastEth TCP",
+         tcp_api_oneway_us_sweep(TcpFabricKind::kFastEthernet, sizes, runner)},
+      atm{"ATM TCP", tcp_api_oneway_us_sweep(TcpFabricKind::kAtm, sizes, runner)},
+      myr_api{"Myrinet API", myrinet_api_oneway_us_sweep(sizes, runner)},
+      myr_tcp{"Myrinet TCP",
+              tcp_api_oneway_us_sweep(TcpFabricKind::kMyrinet, sizes, runner)};
   print_series(sizes, {scr, fe, atm, myr_api, myr_tcp});
 
   std::cout << "\nShape checks (paper Section 5):\n";

@@ -7,22 +7,23 @@
 
 #include "bench_util.h"
 #include "harness/benchops.h"
+#include "sweep/runner.h"
 
 using namespace scrnet;
 using namespace scrnet::bench;
 using namespace scrnet::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  sweep::Runner runner(parse_jobs(argc, argv));
+
   header("Figure 3: MPI point-to-point latency across networks",
          "Moorthy et al., IPPS 1999, Figure 3");
 
   const std::vector<u32> sizes{0, 4, 64, 128, 256, 384, 512, 640, 768, 896, 1000};
-  Series scr{"SCRAMNet MPI", {}}, fe{"FastEth MPI", {}}, atm{"ATM MPI", {}};
-  for (u32 s : sizes) {
-    scr.us.push_back(mpi_scramnet_oneway_us(s));
-    fe.us.push_back(mpi_tcp_oneway_us(TcpFabricKind::kFastEthernet, s));
-    atm.us.push_back(mpi_tcp_oneway_us(TcpFabricKind::kAtm, s));
-  }
+  Series scr{"SCRAMNet MPI", mpi_scramnet_oneway_us_sweep(sizes, runner)},
+      fe{"FastEth MPI",
+         mpi_tcp_oneway_us_sweep(TcpFabricKind::kFastEthernet, sizes, runner)},
+      atm{"ATM MPI", mpi_tcp_oneway_us_sweep(TcpFabricKind::kAtm, sizes, runner)};
   print_series(sizes, {scr, fe, atm});
 
   std::cout << "\nShape checks (paper Section 5):\n";

@@ -8,24 +8,23 @@
 
 #include "bench_util.h"
 #include "harness/benchops.h"
+#include "sweep/runner.h"
 
 using namespace scrnet;
 using namespace scrnet::bench;
 using namespace scrnet::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  sweep::Runner runner(parse_jobs(argc, argv));
+
   header("Figure 4: SCRAMNet point-to-point vs 4-node broadcast (API level)",
          "Moorthy et al., IPPS 1999, Figure 4 + abstract");
 
   const std::vector<u32> sizes{0, 4, 16, 64, 128, 256, 512, 750, 1000};
-  Series p2p{"Point-to-Point", {}}, bc{"4-node Broadcast", {}}, d{"Delta", {}};
-  for (u32 s : sizes) {
-    const double a = bbp_oneway_us(s);
-    const double b = bbp_bcast_us(s);
-    p2p.us.push_back(a);
-    bc.us.push_back(b);
-    d.us.push_back(b - a);
-  }
+  Series p2p{"Point-to-Point", bbp_oneway_us_sweep(sizes, runner)},
+      bc{"4-node Broadcast", bbp_bcast_us_sweep(sizes, runner)}, d{"Delta", {}};
+  for (usize i = 0; i < sizes.size(); ++i)
+    d.us.push_back(bc.us[i] - p2p.us[i]);
   print_series(sizes, {p2p, bc, d});
 
   std::cout << "\nHeadline checks:\n";

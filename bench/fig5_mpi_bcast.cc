@@ -9,24 +9,27 @@
 
 #include "bench_util.h"
 #include "harness/benchops.h"
+#include "sweep/runner.h"
 
 using namespace scrnet;
 using namespace scrnet::bench;
 using namespace scrnet::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  sweep::Runner runner(parse_jobs(argc, argv));
+
   header("Figure 5: 4-node MPI_Bcast on SCRAMNet and Fast Ethernet",
          "Moorthy et al., IPPS 1999, Figure 5");
 
   const std::vector<u32> sizes{0, 4, 64, 128, 256, 384, 512, 640, 768, 896, 1000};
-  Series fe{"FastEth p2p-tree", {}}, scr_p2p{"SCRAMNet p2p-tree", {}},
-      scr_mc{"SCRAMNet API-mcast", {}};
-  for (u32 s : sizes) {
-    fe.us.push_back(mpi_tcp_bcast_us(TcpFabricKind::kFastEthernet, s));
-    scr_p2p.us.push_back(
-        mpi_scramnet_bcast_us(s, scrmpi::CollAlgo::kPointToPoint));
-    scr_mc.us.push_back(mpi_scramnet_bcast_us(s, scrmpi::CollAlgo::kNativeMcast));
-  }
+  Series fe{"FastEth p2p-tree",
+            mpi_tcp_bcast_us_sweep(TcpFabricKind::kFastEthernet, sizes, runner)},
+      scr_p2p{"SCRAMNet p2p-tree",
+              mpi_scramnet_bcast_us_sweep(sizes, scrmpi::CollAlgo::kPointToPoint,
+                                          runner)},
+      scr_mc{"SCRAMNet API-mcast",
+             mpi_scramnet_bcast_us_sweep(sizes, scrmpi::CollAlgo::kNativeMcast,
+                                         runner)};
   print_series(sizes, {fe, scr_p2p, scr_mc});
 
   std::cout << "\nShape checks (paper Section 5):\n";

@@ -10,14 +10,27 @@
 
 #include "bench_util.h"
 #include "harness/benchops.h"
+#include "sweep/runner.h"
 
 using namespace scrnet;
 using namespace scrnet::bench;
 using namespace scrnet::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  sweep::Runner runner(parse_jobs(argc, argv));
+
   header("Figure 6: MPI_Barrier on SCRAMNet, Fast Ethernet and ATM",
          "Moorthy et al., IPPS 1999, Figure 6");
+
+  const std::vector<u32> nodes{2, 3, 4};
+  const std::vector<double> scr_api = mpi_scramnet_barrier_us_sweep(
+      nodes, scrmpi::CollAlgo::kNativeMcast, runner);
+  const std::vector<double> scr_p2p = mpi_scramnet_barrier_us_sweep(
+      nodes, scrmpi::CollAlgo::kPointToPoint, runner);
+  const std::vector<double> fe =
+      mpi_tcp_barrier_us_sweep(TcpFabricKind::kFastEthernet, nodes, runner);
+  const std::vector<double> atm =
+      mpi_tcp_barrier_us_sweep(TcpFabricKind::kAtm, nodes, runner);
 
   Table t({"nodes", "SCRAMNet w/API (us)", "SCRAMNet w/p2p (us)",
            "FastEth p2p (us)", "ATM p2p (us)"});
@@ -26,15 +39,11 @@ int main() {
     double scr_api, scr_p2p, fe, atm;
   };
   std::vector<Row> rows;
-  for (u32 n : {2u, 3u, 4u}) {
-    Row r{n,
-          mpi_scramnet_barrier_us(scrmpi::CollAlgo::kNativeMcast, n),
-          mpi_scramnet_barrier_us(scrmpi::CollAlgo::kPointToPoint, n),
-          mpi_tcp_barrier_us(TcpFabricKind::kFastEthernet, n),
-          mpi_tcp_barrier_us(TcpFabricKind::kAtm, n)};
+  for (usize i = 0; i < nodes.size(); ++i) {
+    Row r{nodes[i], scr_api[i], scr_p2p[i], fe[i], atm[i]};
     rows.push_back(r);
-    t.add_row({std::to_string(n), Table::num(r.scr_api), Table::num(r.scr_p2p),
-               Table::num(r.fe), Table::num(r.atm)});
+    t.add_row({std::to_string(r.nodes), Table::num(r.scr_api),
+               Table::num(r.scr_p2p), Table::num(r.fe), Table::num(r.atm)});
   }
   t.print(std::cout);
 

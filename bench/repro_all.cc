@@ -1,0 +1,190 @@
+// repro_all: run the entire figure/table/ablation suite and diff every
+// output against the committed golden files in bench/golden/.
+//
+// Each bench binary is launched as a subprocess (stdout+stderr captured)
+// with SCRNET_JOBS=1 forced in its environment: parallelism lives at the
+// process level here, so the children must not each spin up their own
+// worker pools on top. The subprocess launches themselves are fanned out
+// over a sweep::Runner -- a worker thread blocks in popen() per child --
+// which makes the whole 16-binary suite take roughly
+// slowest-binary-wall-clock on an idle multicore box.
+//
+//   repro_all [--jobs N] [--update-golden] [--bindir DIR] [--golden DIR]
+//
+// Exit status is the number of mismatching/failed binaries (0 = suite
+// reproduces bit-exactly). --update-golden rewrites the golden files from
+// the current outputs instead of diffing (then exits 0 unless a binary
+// itself failed).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/types.h"
+#include "sweep/runner.h"
+
+#ifndef SCRNET_GOLDEN_DIR
+#define SCRNET_GOLDEN_DIR "bench/golden"
+#endif
+
+using namespace scrnet;
+
+namespace {
+
+constexpr const char* kSuite[] = {
+    "fig1_latency",      "fig2_api_networks",     "fig3_mpi_networks",
+    "fig4_bcast_vs_p2p", "fig5_mpi_bcast",        "fig6_barrier",
+    "tbl_ring_throughput", "abl_packet_mode",     "abl_ring_scaling",
+    "abl_interrupt_recv", "abl_channel_interface", "abl_ethernet_switch",
+    "abl_hybrid",        "abl_hierarchy",         "abl_dma",
+    "abl_allreduce",
+};
+
+struct RunResult {
+  std::string output;   // captured stdout+stderr
+  double wall_s = 0.0;
+  int exit_code = -1;
+};
+
+/// Directory holding this binary (the suite binaries are its siblings).
+std::string self_dir(const char* argv0) {
+  std::string s(argv0);
+  const auto slash = s.rfind('/');
+  return slash == std::string::npos ? std::string(".") : s.substr(0, slash);
+}
+
+RunResult run_one(const std::string& bindir, const std::string& name) {
+  RunResult r;
+  // Force the child sequential; quoting is safe because bindir comes from
+  // argv[0]/--bindir, not from untrusted input.
+  const std::string cmd =
+      "env SCRNET_JOBS=1 '" + bindir + "/" + name + "' 2>&1";
+  const auto t0 = std::chrono::steady_clock::now();
+  FILE* p = popen(cmd.c_str(), "r");
+  if (!p) return r;
+  char buf[4096];
+  usize n;
+  while ((n = fread(buf, 1, sizeof buf, p)) > 0) r.output.append(buf, n);
+  const int status = pclose(p);
+  const auto t1 = std::chrono::steady_clock::now();
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& data) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << data;
+  return f.good();
+}
+
+/// First differing line, for a compact mismatch report.
+std::string first_diff(const std::string& want, const std::string& got) {
+  std::istringstream a(want), b(got);
+  std::string la, lb;
+  usize line = 0;
+  while (true) {
+    ++line;
+    const bool ea = !std::getline(a, la);
+    const bool eb = !std::getline(b, lb);
+    if (ea && eb) return "(identical?)";
+    if (ea != eb || la != lb) {
+      std::ostringstream ss;
+      ss << "line " << line << ":\n    golden: " << (ea ? "<eof>" : la)
+         << "\n    got:    " << (eb ? "<eof>" : lb);
+      return ss.str();
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string bindir = self_dir(argv[0]);
+  std::string golden_dir = SCRNET_GOLDEN_DIR;
+  bool update = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-golden") == 0) update = true;
+    if (std::strcmp(argv[i], "--bindir") == 0 && i + 1 < argc)
+      bindir = argv[++i];
+    if (std::strcmp(argv[i], "--golden") == 0 && i + 1 < argc)
+      golden_dir = argv[++i];
+  }
+
+  sweep::Runner runner(bench::parse_jobs(argc, argv));
+  std::cout << "repro_all: " << (sizeof kSuite / sizeof kSuite[0])
+            << " binaries, jobs=" << runner.jobs() << ", golden=" << golden_dir
+            << (update ? " (UPDATING)" : "") << "\n";
+
+  const auto suite_t0 = std::chrono::steady_clock::now();
+  std::vector<sweep::Future<RunResult>> futs;
+  for (const char* name : kSuite)
+    futs.push_back(runner.submit(name, [bindir, name] {
+      return run_one(bindir, name);
+    }));
+
+  int bad = 0;
+  for (usize i = 0; i < futs.size(); ++i) {
+    const std::string name = kSuite[i];
+    const RunResult r = futs[i].get();
+    char wall[32];
+    std::snprintf(wall, sizeof wall, "%6.2fs", r.wall_s);
+    if (r.exit_code != 0) {
+      ++bad;
+      std::cout << "  [FAIL] " << name << "  " << wall << "  exit="
+                << r.exit_code << "\n";
+      continue;
+    }
+    const std::string gpath = golden_dir + "/" + name + ".txt";
+    if (update) {
+      if (write_file(gpath, r.output)) {
+        std::cout << "  [GOLD] " << name << "  " << wall << "  -> " << gpath
+                  << "\n";
+      } else {
+        ++bad;
+        std::cout << "  [FAIL] " << name << "  cannot write " << gpath << "\n";
+      }
+      continue;
+    }
+    std::string want;
+    if (!read_file(gpath, &want)) {
+      ++bad;
+      std::cout << "  [MISS] " << name << "  " << wall << "  no golden file "
+                << gpath << "\n";
+      continue;
+    }
+    if (want == r.output) {
+      std::cout << "  [OK]   " << name << "  " << wall << "\n";
+    } else {
+      ++bad;
+      std::cout << "  [DIFF] " << name << "  " << wall << "  first mismatch at "
+                << first_diff(want, r.output) << "\n";
+    }
+  }
+
+  const auto suite_t1 = std::chrono::steady_clock::now();
+  const double total_s =
+      std::chrono::duration<double>(suite_t1 - suite_t0).count();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2fs", total_s);
+  std::cout << "repro_all: " << (bad == 0 ? "PASS" : "FAIL") << " ("
+            << futs.size() - static_cast<usize>(bad) << "/" << futs.size()
+            << " identical), suite wall-clock " << buf << "\n";
+  return bad;
+}

@@ -6,6 +6,7 @@
 #include "bench_util.h"
 #include "harness/benchops.h"
 #include "scramnet/ring.h"
+#include "sweep/runner.h"
 
 using namespace scrnet;
 using namespace scrnet::bench;
@@ -29,12 +30,25 @@ double raw_ring_mbps(scramnet::PacketMode mode, u32 bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sweep::Runner runner(parse_jobs(argc, argv));
+
   header("Table: SCRAMNet ring throughput (Section 2 specifications)",
          "Moorthy et al., IPPS 1999, Section 2");
 
-  const double fixed = raw_ring_mbps(scramnet::PacketMode::kFixed4, 1u << 20);
-  const double variable = raw_ring_mbps(scramnet::PacketMode::kVariable, 1u << 20);
+  // The two raw-ring measurements are independent simulations too: submit
+  // them alongside the BBP sweep so everything overlaps.
+  auto f_fixed = runner.submit("raw_ring.fixed4", [] {
+    return raw_ring_mbps(scramnet::PacketMode::kFixed4, 1u << 20);
+  });
+  auto f_variable = runner.submit("raw_ring.variable", [] {
+    return raw_ring_mbps(scramnet::PacketMode::kVariable, 1u << 20);
+  });
+  const std::vector<u32> sizes{64, 256, 1024, 4096, 16384, 65536};
+  const std::vector<double> bbp =
+      bbp_throughput_mbps_sweep(sizes, 1u << 20, runner);
+  const double fixed = f_fixed.get();
+  const double variable = f_variable.get();
 
   Table t({"mode", "paper max (MB/s)", "measured (MB/s)"});
   t.add_row({"fixed 4-byte packets", "6.5", Table::num(fixed)});
@@ -43,16 +57,14 @@ int main() {
 
   std::cout << "\nBBP end-to-end throughput (variable mode, incl. protocol):\n";
   Table t2({"message bytes", "BBP throughput (MB/s)"});
-  for (u32 sz : {64u, 256u, 1024u, 4096u, 16384u, 65536u}) {
-    t2.add_row({std::to_string(sz),
-                Table::num(bbp_throughput_mbps(sz, 1u << 20))});
-  }
+  for (usize i = 0; i < sizes.size(); ++i)
+    t2.add_row({std::to_string(sizes[i]), Table::num(bbp[i])});
   t2.print(std::cout);
 
   std::cout << "\nChecks:\n";
   check("fixed-mode ring throughput (MB/s)", 6.5, fixed, 0.05);
   check("variable-mode ring throughput (MB/s)", 16.7, variable, 0.05);
   check_shape("BBP throughput approaches the ring limit for large messages",
-              bbp_throughput_mbps(65536, 1u << 20) > 10.0);
+              bbp.back() > 10.0);
   return 0;
 }

@@ -3,32 +3,35 @@
 #include <string>
 
 #include "obs/counters.h"
+#include "obs/sink.h"
 
 namespace scrnet::harness {
 
 namespace {
 /// Per-rank stats flow into the registry only when someone armed it
-/// (SCRNET_COUNTERS or an explicit enable); otherwise zero work.
-void publish_rank(const bbp::Endpoint& ep) {
+/// (SCRNET_COUNTERS or an explicit enable); otherwise zero work. Stats go
+/// to the *simulation's* sink, not the process singleton, so concurrent
+/// sweep runs cannot mix their counters (obs/sink.h).
+void publish_rank(const sim::Simulation& sim, const bbp::Endpoint& ep) {
   if (!obs::Counters::enabled()) return;
-  ep.publish_counters(obs::Counters::global(),
+  ep.publish_counters(sim.sink().counters(),
                       "bbp.rank" + std::to_string(ep.rank()));
 }
 
-void publish_rank(const scrmpi::Mpi& mpi, u32 r) {
+void publish_rank(const sim::Simulation& sim, const scrmpi::Mpi& mpi, u32 r) {
   if (!obs::Counters::enabled()) return;
-  mpi.publish_counters(obs::Counters::global(), "mpi.rank" + std::to_string(r));
+  mpi.publish_counters(sim.sink().counters(), "mpi.rank" + std::to_string(r));
 }
 
 void publish_run(const scramnet::Ring& ring, const sim::Simulation& sim) {
   if (!obs::Counters::enabled()) return;
-  ring.publish_counters(obs::Counters::global(), "ring");
-  obs::Counters::global().add("sim", "events_executed", sim.events_executed());
+  ring.publish_counters(sim.sink().counters(), "ring");
+  sim.sink().counters().add("sim", "events_executed", sim.events_executed());
 }
 
 void publish_run(const sim::Simulation& sim) {
   if (!obs::Counters::enabled()) return;
-  obs::Counters::global().add("sim", "events_executed", sim.events_executed());
+  sim.sink().counters().add("sim", "events_executed", sim.events_executed());
 }
 }  // namespace
 
@@ -43,7 +46,7 @@ SimTime run_scramnet_bbp(
       scramnet::SimHostPort port(ring, r, p, opts.host);
       bbp::Endpoint ep(port, nodes, r, opts.bbp);
       body(p, ep);
-      publish_rank(ep);
+      publish_rank(sim, ep);
     });
   }
   sim.run();
@@ -64,8 +67,8 @@ SimTime run_scramnet_mpi(
       scrmpi::BbpChannel dev(ep);
       scrmpi::Mpi mpi(dev, opts.mpi);
       body(p, mpi);
-      publish_rank(ep);
-      publish_rank(mpi, r);
+      publish_rank(sim, ep);
+      publish_rank(sim, mpi, r);
     });
   }
   sim.run();
@@ -92,8 +95,8 @@ SimTime run_hybrid_mpi(u32 nodes, TcpFabricKind bulk_kind, u32 threshold,
       scrmpi::HybridChannel dev(low, high, threshold);
       scrmpi::Mpi mpi(dev, sopts.mpi);
       body(p, mpi);
-      publish_rank(ep);
-      publish_rank(mpi, r);
+      publish_rank(sim, ep);
+      publish_rank(sim, mpi, r);
     });
   }
   sim.run();
@@ -138,7 +141,7 @@ SimTime run_tcp_mpi(u32 nodes, TcpFabricKind kind,
                 scrmpi::SockChannel dev(stack, p, nodes);
                 scrmpi::Mpi mpi(dev, opts.mpi);
                 body(p, mpi);
-                publish_rank(mpi, r);
+                publish_rank(sim, mpi, r);
               });
   }
   sim.run();

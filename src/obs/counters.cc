@@ -7,10 +7,8 @@
 
 namespace scrnet::obs {
 
-Counters& Counters::global() {
-  static Counters c;
-  return c;
-}
+// Counters::global()/current() are defined in sink.cc: they are views
+// into the global / thread-current obs::Sink.
 
 void Counters::add(std::string_view group, std::string_view name, u64 delta) {
   std::lock_guard<std::mutex> lk(mu_);

@@ -25,7 +25,14 @@ namespace scrnet::obs {
 
 class Counters {
  public:
+  /// Process-wide registry: the global obs::Sink's counters (the
+  /// single-run default, dumped at process exit when SCRNET_COUNTERS is
+  /// set).
   static Counters& global();
+
+  /// The current obs::Sink's registry on this thread -- per-run inside a
+  /// sweep job, global() otherwise.
+  static Counters& current();
 
   static bool enabled() { return enabled_; }
   void enable(bool on) { enabled_ = on; }

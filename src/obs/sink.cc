@@ -1,0 +1,126 @@
+#include "obs/sink.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <string_view>
+
+namespace scrnet::obs {
+
+namespace {
+
+thread_local Sink* t_current = nullptr;
+
+/// Serializes the "-" (stderr table) counters mode across concurrently
+/// finishing sweep jobs so two runs' tables never interleave.
+std::mutex& stderr_table_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+struct EnvPaths {
+  const char* trace = nullptr;
+  const char* counters = nullptr;
+  EnvPaths() {
+    trace = std::getenv("SCRNET_TRACE");
+    counters = std::getenv("SCRNET_COUNTERS");
+    if (trace && !*trace) trace = nullptr;
+    if (counters && !*counters) counters = nullptr;
+  }
+};
+
+const EnvPaths& env_paths() {
+  static EnvPaths p;
+  return p;
+}
+
+}  // namespace
+
+const char* trace_env_path() { return env_paths().trace; }
+const char* counters_env_path() { return env_paths().counters; }
+
+Sink& Sink::global() {
+  static Sink s;
+  return s;
+}
+
+Sink& Sink::current() { return t_current ? *t_current : global(); }
+
+Sink::Scope::Scope(Sink& s) : prev_(t_current) { t_current = &s; }
+Sink::Scope::~Scope() { t_current = prev_; }
+
+std::string Sink::suffixed(const std::string& base) const {
+  return label_.empty() ? base : base + "." + label_;
+}
+
+bool Sink::flush_trace_to(const std::string& base) const {
+  if (tracer_.events() == 0) return false;
+  return tracer_.write_json_file(suffixed(base));
+}
+
+bool Sink::flush_counters_to(const std::string& base) const {
+  if (counters_.empty()) return false;
+  return counters_.write_json_file(suffixed(base));
+}
+
+void Sink::flush_env() {
+  if (const char* path = trace_env_path()) (void)flush_trace_to(path);
+  if (const char* path = counters_env_path()) {
+    if (std::string_view(path) == "-") {
+      if (!counters_.empty()) {
+        std::lock_guard<std::mutex> lk(stderr_table_mutex());
+        if (!label_.empty()) std::cerr << "== counters: " << label_ << " ==\n";
+        counters_.write_table(std::cerr);
+      }
+    } else {
+      (void)flush_counters_to(path);
+    }
+  }
+}
+
+// The global() singletons of Tracer/Counters are views into the global
+// sink, so "Sink" is purely additive: every pre-sweep call site keeps its
+// exact behavior.
+Tracer& Tracer::global() { return Sink::global().tracer(); }
+Tracer& Tracer::current() { return Sink::current().tracer(); }
+Counters& Counters::global() { return Sink::global().counters(); }
+Counters& Counters::current() { return Sink::current().counters(); }
+
+namespace {
+
+/// Process-lifetime hook: SCRNET_TRACE=<path> arms the tracer at startup
+/// and dumps the *global* sink's JSON at exit; SCRNET_COUNTERS=<path|->
+/// does the same for the counter registry ("-" = table on stderr).
+/// Labeled per-run sinks flush themselves at job end instead (flush_env),
+/// so the exit dump is skipped when the global sink recorded nothing.
+/// Constructing the global sink here first guarantees it outlives this
+/// hook.
+struct EnvHook {
+  EnvHook() {
+    (void)Sink::global();
+    (void)env_paths();
+    if (trace_env_path()) Tracer::global().enable(true);
+    if (counters_env_path()) Counters::global().enable(true);
+  }
+
+  ~EnvHook() {
+    Sink& g = Sink::global();
+    if (const char* path = trace_env_path()) {
+      if (g.tracer().events() > 0) (void)g.tracer().write_json_file(path);
+    }
+    if (const char* path = counters_env_path()) {
+      if (!g.counters().empty()) {
+        if (std::string_view(path) == "-" ||
+            !g.counters().write_json_file(path)) {
+          g.counters().write_table(std::cerr);
+        }
+      }
+    }
+  }
+};
+
+EnvHook env_hook;
+
+}  // namespace
+
+}  // namespace scrnet::obs

@@ -1,14 +1,14 @@
 #include "obs/trace.h"
 
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <ostream>
 
-#include "obs/counters.h"
-
 namespace scrnet::obs {
+
+// Tracer::global()/current() are defined in sink.cc: they are views into
+// the global / thread-current obs::Sink.
 
 const char* layer_name(Layer l) {
   switch (l) {
@@ -18,11 +18,6 @@ const char* layer_name(Layer l) {
     case Layer::kMpi: return "scrmpi";
   }
   return "?";
-}
-
-Tracer& Tracer::global() {
-  static Tracer t;
-  return t;
 }
 
 void Tracer::span(Layer layer, u32 node, const char* name, SimTime t0, SimTime t1) {
@@ -96,38 +91,5 @@ bool Tracer::write_json_file(const std::string& path) const {
   write_json(f);
   return true;
 }
-
-namespace {
-/// Process-lifetime hook: SCRNET_TRACE=<path> arms the tracer at startup
-/// and dumps the JSON at exit; SCRNET_COUNTERS=<path|-> does the same for
-/// the counter registry ("-" prints the table to stderr). Constructing the
-/// singletons here first guarantees they outlive this hook.
-struct EnvHook {
-  const char* trace_path;
-  const char* counters_path;
-
-  EnvHook() {
-    (void)Tracer::global();
-    (void)Counters::global();
-    trace_path = std::getenv("SCRNET_TRACE");
-    counters_path = std::getenv("SCRNET_COUNTERS");
-    if (trace_path && *trace_path) Tracer::global().enable(true);
-    if (counters_path && *counters_path) Counters::global().enable(true);
-  }
-
-  ~EnvHook() {
-    if (trace_path && *trace_path) Tracer::global().write_json_file(trace_path);
-    if (counters_path && *counters_path) {
-      if (std::string_view(counters_path) == "-") {
-        Counters::global().write_table(std::cerr);
-      } else if (!Counters::global().write_json_file(counters_path)) {
-        Counters::global().write_table(std::cerr);
-      }
-    }
-  }
-};
-
-EnvHook env_hook;
-}  // namespace
 
 }  // namespace scrnet::obs

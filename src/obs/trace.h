@@ -38,11 +38,19 @@ const char* layer_name(Layer l);
 
 class Tracer {
  public:
-  /// Process-wide tracer instance (simulations are single-threaded except
-  /// for the real-threads backends, which share it under a mutex).
+  /// Process-wide tracer instance: the global obs::Sink's tracer. The
+  /// single-run default -- everything recorded here is dumped once at
+  /// process exit when SCRNET_TRACE is set.
   static Tracer& global();
 
-  /// Disabled-path check: a single static load + branch, no call.
+  /// The tracer TRACE_SPAN / TRACE_INSTANT record into on this thread:
+  /// the current obs::Sink's tracer. Identical to global() except inside
+  /// a sweep job, where sweep::Runner installs a per-run sink.
+  static Tracer& current();
+
+  /// Disabled-path check: a single static load + branch, no call. The
+  /// armed flag is process-wide on purpose (see obs/sink.h); recording
+  /// is per-sink.
   static bool enabled() { return enabled_; }
   void enable(bool on) { enabled_ = on; }
 
@@ -92,7 +100,7 @@ class Span {
   }
 
   ~Span() {
-    if (obj_) Tracer::global().span(layer_, node_, name_, t0_, read_(obj_));
+    if (obj_) Tracer::current().span(layer_, node_, name_, t0_, read_(obj_));
   }
 
   Span(const Span&) = delete;
@@ -115,10 +123,10 @@ class Span {
   ::scrnet::obs::Span SCRNET_OBS_CAT(scrnet_obs_span_, __LINE__)((layer), (node), (name), (clock))
 
 /// Record a point event at the clock's current virtual time.
-#define TRACE_INSTANT(layer, node, name, clock)                                        \
-  do {                                                                                 \
-    if (::scrnet::obs::Tracer::enabled())                                              \
-      ::scrnet::obs::Tracer::global().instant((layer), (node), (name), (clock).now()); \
+#define TRACE_INSTANT(layer, node, name, clock)                                         \
+  do {                                                                                  \
+    if (::scrnet::obs::Tracer::enabled())                                               \
+      ::scrnet::obs::Tracer::current().instant((layer), (node), (name), (clock).now()); \
   } while (0)
 
 }  // namespace scrnet::obs

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <sstream>
 
+#include "obs/sink.h"
 #include "obs/trace.h"
 
 namespace scrnet::sim {
@@ -201,7 +202,8 @@ void Simulation::dispatch(Process& p) {
 // Simulation -- backend-neutral kernel loop
 // ---------------------------------------------------------------------------
 
-Simulation::Simulation(const SimConfig& cfg) : stack_pool_(cfg.proc_stack_bytes) {}
+Simulation::Simulation(const SimConfig& cfg)
+    : sink_(&obs::Sink::current()), stack_pool_(cfg.proc_stack_bytes) {}
 
 Process& Simulation::spawn(std::string name, std::function<void(Process&)> body) {
   procs_.push_back(std::unique_ptr<Process>(
@@ -225,6 +227,11 @@ void Simulation::check_time_limit() {
 }
 
 void Simulation::run() {
+  // All events (and the process fibers they dispatch) execute on this
+  // thread until run() returns, so installing the simulation's sink as the
+  // thread-current one routes every TRACE_* hook fired inside to it --
+  // even when several simulations run concurrently on sibling threads.
+  obs::Sink::Scope obs_scope(*sink_);
   running_ = true;
   if (time_limit_ > 0) {
     while (step()) check_time_limit();
@@ -249,6 +256,7 @@ void Simulation::run() {
 }
 
 bool Simulation::run_until(SimTime t) {
+  obs::Sink::Scope obs_scope(*sink_);
   while (!queue_.empty() && queue_.next_time() <= t) {
     step();
     check_time_limit();  // the safety valve guards bounded runs too

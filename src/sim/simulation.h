@@ -42,6 +42,10 @@
 #include "sim/event_queue.h"
 #include "sim/fiber.h"
 
+namespace scrnet::obs {
+class Sink;
+}
+
 namespace scrnet::sim {
 
 class Simulation;
@@ -199,6 +203,14 @@ class Simulation {
   /// Per-process usable stack bytes after page rounding.
   usize proc_stack_bytes() const { return stack_pool_.stack_bytes(); }
 
+  /// The observability sink this simulation records into (TRACE_* hooks,
+  /// published counters). Captured from obs::Sink::current() at
+  /// construction: the global sink for ordinary single-run programs, the
+  /// job's private sink inside a sweep::Runner job. run()/run_until()
+  /// (re)install it as the thread-current sink for their duration.
+  obs::Sink& sink() const { return *sink_; }
+  void set_sink(obs::Sink& s) { sink_ = &s; }
+
  private:
   friend class Process;
   friend class Signal;
@@ -223,6 +235,7 @@ class Simulation {
 
   SimTime now_ = 0;
   SimTime time_limit_ = 0;
+  obs::Sink* sink_;  // never null; set in the constructor
   EventQueue queue_;
   detail::StackPool stack_pool_;
 #if !defined(SCRNET_SIM_THREAD_PROCS)
