@@ -24,12 +24,12 @@ constexpr u32 kFlagAddr = 100;
 constexpr u32 kDataAddr = 101;
 constexpr SimTime kInterruptDispatch = us(7);  // Linux-2.0-era irq + wakeup
 
-struct Result {
+struct RecvResult {
   double latency_us;
   u64 pio_reads;
 };
 
-Result polled(u32 gap_writes) {
+RecvResult polled(u32 gap_writes) {
   sim::Simulation sim;
   scramnet::Ring ring(sim, {});
   SimTime sent = 0, got = 0;
@@ -56,7 +56,7 @@ Result polled(u32 gap_writes) {
   return {to_us(got - sent), reads};
 }
 
-Result interrupt_driven(u32 gap_writes) {
+RecvResult interrupt_driven(u32 gap_writes) {
   sim::Simulation sim;
   scramnet::Ring ring(sim, {});
   SimTime sent = 0, got = 0;
@@ -93,8 +93,8 @@ int main() {
   double poll_sum = 0, irq_sum = 0;
   u64 poll_reads = 0;
   for (u32 g = 0; g < 6; ++g) {
-    const Result p = polled(g);
-    const Result i = interrupt_driven(g);
+    const RecvResult p = polled(g);
+    const RecvResult i = interrupt_driven(g);
     poll_sum += p.latency_us;
     irq_sum += i.latency_us;
     poll_reads += p.pio_reads;

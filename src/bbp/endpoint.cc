@@ -47,7 +47,9 @@ Endpoint::Endpoint(scramnet::MemPort& port, u32 procs, u32 me, Config cfg)
 }
 
 void Endpoint::blocked_wait() {
-  if (mode_ == RecvMode::kInterrupt) {
+  // A configured timeout needs time to advance even when the awaited write
+  // never arrives; an interrupt sleep would park forever, so poll instead.
+  if (mode_ == RecvMode::kInterrupt && cfg_.poll_timeout == 0) {
     port_.wait_write();
   } else {
     port_.poll_pause();
@@ -98,6 +100,7 @@ Result<u32> Endpoint::alloc_slot(u32 len_bytes, bool block) {
   };
 
   bool stalled = false;
+  const SimTime deadline = wait_deadline();
   for (;;) {
     // First pass uses the current state; the second reconciles ACKs (GC)
     // and retries before deciding to stall or fail.
@@ -108,6 +111,10 @@ Result<u32> Endpoint::alloc_slot(u32 len_bytes, bool block) {
       }
     }
     if (!block) return Status::NoSpace("billboard full");
+    if (deadline_passed(deadline)) {
+      ++stats_.timeouts;
+      return Status::TimedOut("bbp: send waited out poll_timeout for space");
+    }
     if (!stalled) {
       ++stats_.send_stalls;
       TRACE_INSTANT(obs::Layer::kBbp, me_, "bbp.send_stall", port_);
@@ -307,8 +314,15 @@ Result<RecvInfo> Endpoint::deliver(Incoming msg, std::span<u8> buf) {
 Result<RecvInfo> Endpoint::recv(u32 src, std::span<u8> buf) {
   TRACE_SPAN(obs::Layer::kBbp, me_, "bbp.recv", port_);
   if (src >= layout_.procs) return Status::InvalidArg("bbp: bad src");
+  const SimTime deadline = wait_deadline();
   while (inq_[src].empty()) {
-    if (!poll_sender(src)) blocked_wait();
+    if (!poll_sender(src)) {
+      if (deadline_passed(deadline)) {
+        ++stats_.timeouts;
+        return Status::TimedOut("bbp: recv waited out poll_timeout");
+      }
+      blocked_wait();
+    }
   }
   Incoming msg = inq_[src].front();
   inq_[src].pop_front();
@@ -317,6 +331,7 @@ Result<RecvInfo> Endpoint::recv(u32 src, std::span<u8> buf) {
 
 Result<RecvInfo> Endpoint::recv_any(std::span<u8> buf) {
   TRACE_SPAN(obs::Layer::kBbp, me_, "bbp.recv_any", port_);
+  const SimTime deadline = wait_deadline();
   for (;;) {
     for (u32 i = 0; i < layout_.procs; ++i) {
       const u32 s = (rr_next_ + i) % layout_.procs;
@@ -327,7 +342,13 @@ Result<RecvInfo> Endpoint::recv_any(std::span<u8> buf) {
         return deliver(msg, buf);
       }
     }
-    if (!poll_all()) blocked_wait();
+    if (!poll_all()) {
+      if (deadline_passed(deadline)) {
+        ++stats_.timeouts;
+        return Status::TimedOut("bbp: recv_any waited out poll_timeout");
+      }
+      blocked_wait();
+    }
   }
 }
 
@@ -361,12 +382,20 @@ std::optional<u32> Endpoint::peek_len(u32 src) {
   return inq_[src].front().len_bytes;
 }
 
-void Endpoint::drain() {
+Status Endpoint::drain() {
   TRACE_SPAN(obs::Layer::kBbp, me_, "bbp.drain", port_);
+  const SimTime deadline = wait_deadline();
   while (inflight() > 0) {
     collect_garbage();
-    if (inflight() > 0) blocked_wait();
+    if (inflight() > 0) {
+      if (deadline_passed(deadline)) {
+        ++stats_.timeouts;
+        return Status::TimedOut("bbp: drain waited out poll_timeout");
+      }
+      blocked_wait();
+    }
   }
+  return Status::Ok();
 }
 
 u32 Endpoint::inflight() const {
@@ -389,6 +418,7 @@ void Endpoint::publish_counters(obs::Counters& c, std::string_view group) const 
   c.add(group, "slots_reclaimed", stats_.slots_reclaimed);
   c.add(group, "send_stalls", stats_.send_stalls);
   c.add(group, "dma_sends", stats_.dma_sends);
+  c.add(group, "timeouts", stats_.timeouts);
 }
 
 void Endpoint::corrupt_for_test(Corrupt what) {

@@ -69,6 +69,16 @@ struct Config {
   // CPU during the transfer, which pipelines back-to-back sends; wire time
   // is unchanged. Default: disabled (the paper's BBP measurements are PIO).
   u32 dma_threshold_bytes = 0xFFFFFFFFu;
+  // Bounded wait for every blocking loop (send stalls, recv polling,
+  // drain): once a call has waited this much virtual time without the
+  // condition holding it returns kTimedOut instead of spinning forever --
+  // the degraded-mode behavior fault scenarios rely on. 0 (the default)
+  // preserves the paper's semantics: block indefinitely (a permanently
+  // lost flag toggle then parks the fiber until deadlock detection).
+  // With a timeout set, a blocked endpoint always advances virtual time
+  // by polling, even in kInterrupt mode (an interrupt sleep has no
+  // wake-up when the awaited write was lost on the ring).
+  SimTime poll_timeout = 0;
   CpuCosts cpu;
 };
 
@@ -90,6 +100,7 @@ struct EndpointStats {
   u64 slots_reclaimed = 0;
   u64 send_stalls = 0;  // times send had to wait for space/slots
   u64 dma_sends = 0;    // payloads that went out via the DMA engine
+  u64 timeouts = 0;     // blocking calls that gave up at poll_timeout
 };
 
 class Endpoint {
@@ -117,10 +128,11 @@ class Endpoint {
   Status try_send(u32 dest, std::span<const u8> payload);
   Status try_mcast(std::span<const u32> dests, std::span<const u8> payload);
 
-  /// Blocking receive from a specific source.
+  /// Blocking receive from a specific source; kTimedOut once
+  /// cfg.poll_timeout (if nonzero) elapses with nothing delivered.
   Result<RecvInfo> recv(u32 src, std::span<u8> buf);
 
-  /// Blocking receive from any source.
+  /// Blocking receive from any source; kTimedOut as above.
   Result<RecvInfo> recv_any(std::span<u8> buf);
 
   /// bbp_MsgAvail: one poll pass; returns the source of a waiting message.
@@ -132,8 +144,10 @@ class Endpoint {
   /// (polls once if the queue is empty).
   std::optional<u32> peek_len(u32 src);
 
-  /// Wait until all of this endpoint's outstanding sends are acknowledged.
-  void drain();
+  /// Wait until all of this endpoint's outstanding sends are acknowledged;
+  /// kTimedOut once cfg.poll_timeout (if nonzero) elapses with slots still
+  /// in flight (their ACK toggles were lost -- e.g. a broken ring link).
+  Status drain();
 
   /// Count of in-flight (unacknowledged) slots.
   u32 inflight() const;
@@ -190,8 +204,16 @@ class Endpoint {
 
   u32 data_end() const { return layout_.data_base(me_) + layout_.data_words; }
 
-  /// Back off while blocked: poll_pause or interrupt sleep per mode_.
+  /// Back off while blocked: poll_pause or interrupt sleep per mode_
+  /// (always poll_pause when a poll_timeout is configured).
   void blocked_wait();
+  /// Deadline for the blocking call starting now; 0 = none.
+  SimTime wait_deadline() const {
+    return cfg_.poll_timeout > 0 ? port_.now() + cfg_.poll_timeout : 0;
+  }
+  bool deadline_passed(SimTime deadline) const {
+    return deadline != 0 && port_.now() >= deadline;
+  }
 
   scramnet::MemPort& port_;
   Layout layout_;

@@ -21,6 +21,7 @@ enum class StatusCode {
   kInvalidArg,     // caller error detectable at runtime
   kUnavailable,    // resource not usable in this state
   kInternal,       // invariant violation surfaced as an error
+  kTimedOut,       // bounded wait expired before the condition held
 };
 
 /// Human-readable name for a StatusCode.
@@ -33,6 +34,7 @@ constexpr std::string_view to_string(StatusCode c) {
     case StatusCode::kInvalidArg: return "INVALID_ARG";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kTimedOut: return "TIMED_OUT";
   }
   return "UNKNOWN";
 }
@@ -51,6 +53,7 @@ class Status {
   static Status InvalidArg(std::string m = {}) { return Status(StatusCode::kInvalidArg, std::move(m)); }
   static Status Unavailable(std::string m = {}) { return Status(StatusCode::kUnavailable, std::move(m)); }
   static Status Internal(std::string m = {}) { return Status(StatusCode::kInternal, std::move(m)); }
+  static Status TimedOut(std::string m = {}) { return Status(StatusCode::kTimedOut, std::move(m)); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -1,5 +1,6 @@
 #include "harness/cluster.h"
 
+#include <stdexcept>
 #include <string>
 
 #include "obs/counters.h"
@@ -8,6 +9,21 @@
 namespace scrnet::harness {
 
 namespace {
+/// Arm an optional fault plan before any rank runs. Plans are validated
+/// against the topology; a bad plan is a caller bug, surfaced as an
+/// exception at startup rather than a silent no-op mid-run.
+void arm_faults(fault::FaultPlan* plan, sim::Simulation& sim,
+                scramnet::Ring* ring, netmodels::Fabric* fabric = nullptr) {
+  if (!plan) return;
+  const Status st = plan->arm(sim, ring, fabric);
+  if (!st.ok()) throw std::invalid_argument("fault plan: " + st.to_string());
+}
+
+void publish_faults(const fault::FaultPlan* plan, const sim::Simulation& sim) {
+  if (!plan || !obs::Counters::enabled()) return;
+  plan->publish_counters(sim.sink().counters());
+}
+
 /// Per-rank stats flow into the registry only when someone armed it
 /// (SCRNET_COUNTERS or an explicit enable); otherwise zero work. Stats go
 /// to the *simulation's* sink, not the process singleton, so concurrent
@@ -21,6 +37,14 @@ void publish_rank(const sim::Simulation& sim, const bbp::Endpoint& ep) {
 void publish_rank(const sim::Simulation& sim, const scrmpi::Mpi& mpi, u32 r) {
   if (!obs::Counters::enabled()) return;
   mpi.publish_counters(sim.sink().counters(), "mpi.rank" + std::to_string(r));
+}
+
+void publish_fabric(const netmodels::Fabric& fab, const sim::Simulation& sim) {
+  if (!obs::Counters::enabled()) return;
+  obs::Counters& c = sim.sink().counters();
+  c.add("net", "frames_delivered", fab.frames_delivered());
+  c.add("net", "bytes_delivered", fab.bytes_delivered());
+  c.add("net", "frames_dropped", fab.frames_dropped());
 }
 
 void publish_run(const scramnet::Ring& ring, const sim::Simulation& sim) {
@@ -41,9 +65,11 @@ SimTime run_scramnet_bbp(
   sim::Simulation sim;
   opts.ring.nodes = nodes;
   scramnet::Ring ring(sim, opts.ring);
+  arm_faults(opts.faults, sim, &ring);
   for (u32 r = 0; r < nodes; ++r) {
     sim.spawn("bbp-rank" + std::to_string(r), [&, r](sim::Process& p) {
       scramnet::SimHostPort port(ring, r, p, opts.host);
+      if (opts.faults) port.set_dials(opts.faults->dials(r));
       bbp::Endpoint ep(port, nodes, r, opts.bbp);
       body(p, ep);
       publish_rank(sim, ep);
@@ -51,6 +77,7 @@ SimTime run_scramnet_bbp(
   }
   sim.run();
   publish_run(ring, sim);
+  publish_faults(opts.faults, sim);
   return sim.now();
 }
 
@@ -60,9 +87,11 @@ SimTime run_scramnet_mpi(
   sim::Simulation sim;
   opts.ring.nodes = nodes;
   scramnet::Ring ring(sim, opts.ring);
+  arm_faults(opts.faults, sim, &ring);
   for (u32 r = 0; r < nodes; ++r) {
     sim.spawn("mpi-rank" + std::to_string(r), [&, r](sim::Process& p) {
       scramnet::SimHostPort port(ring, r, p, opts.host);
+      if (opts.faults) port.set_dials(opts.faults->dials(r));
       bbp::Endpoint ep(port, nodes, r, opts.bbp);
       scrmpi::BbpChannel dev(ep);
       scrmpi::Mpi mpi(dev, opts.mpi);
@@ -73,6 +102,7 @@ SimTime run_scramnet_mpi(
   }
   sim.run();
   publish_run(ring, sim);
+  publish_faults(opts.faults, sim);
   return sim.now();
 }
 
@@ -83,11 +113,13 @@ SimTime run_hybrid_mpi(u32 nodes, TcpFabricKind bulk_kind, u32 threshold,
   sopts.ring.nodes = nodes;
   scramnet::Ring ring(sim, sopts.ring);
   auto fabric = make_fabric(sim, nodes, bulk_kind, topts);
+  arm_faults(sopts.faults, sim, &ring, fabric.get());
   const netmodels::TcpConfig stack_cfg =
       topts.custom_stack ? topts.stack : default_stack(bulk_kind);
   for (u32 r = 0; r < nodes; ++r) {
     sim.spawn("hybrid-rank" + std::to_string(r), [&, r, stack_cfg](sim::Process& p) {
       scramnet::SimHostPort port(ring, r, p, sopts.host);
+      if (sopts.faults) port.set_dials(sopts.faults->dials(r));
       bbp::Endpoint ep(port, nodes, r, sopts.bbp);
       scrmpi::BbpChannel low(ep);
       netmodels::TcpStack stack(*fabric, r, stack_cfg);
@@ -101,6 +133,8 @@ SimTime run_hybrid_mpi(u32 nodes, TcpFabricKind bulk_kind, u32 threshold,
   }
   sim.run();
   publish_run(ring, sim);
+  publish_fabric(*fabric, sim);
+  publish_faults(sopts.faults, sim);
   return sim.now();
 }
 
@@ -132,6 +166,7 @@ SimTime run_tcp_mpi(u32 nodes, TcpFabricKind kind,
                     TcpOptions opts) {
   sim::Simulation sim;
   auto fabric = make_fabric(sim, nodes, kind, opts);
+  arm_faults(opts.faults, sim, /*ring=*/nullptr, fabric.get());
   const netmodels::TcpConfig stack_cfg =
       opts.custom_stack ? opts.stack : default_stack(kind);
   for (u32 r = 0; r < nodes; ++r) {
@@ -146,6 +181,8 @@ SimTime run_tcp_mpi(u32 nodes, TcpFabricKind kind,
   }
   sim.run();
   publish_run(sim);
+  publish_fabric(*fabric, sim);
+  publish_faults(opts.faults, sim);
   return sim.now();
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "bbp/endpoint.h"
+#include "fault/plan.h"
 #include "netmodels/atm.h"
 #include "netmodels/ethernet.h"
 #include "netmodels/myrinet.h"
@@ -27,6 +28,11 @@ struct ScramnetOptions {
   scramnet::HostTimings host;
   bbp::Config bbp;
   scrmpi::LayerCosts mpi;
+  /// Optional fault plan, armed against the ring (and, for hybrid runs,
+  /// the bulk fabric too) before any rank starts; per-node host dials are
+  /// attached to every SimHostPort. Must outlive the run. An invalid plan
+  /// (bad node index etc.) throws std::invalid_argument at startup.
+  fault::FaultPlan* faults = nullptr;
 };
 
 /// Which baseline fabric to put under TCP (Figures 2/3/5/6 comparisons).
@@ -50,6 +56,10 @@ struct TcpOptions {
   // Per-byte channel costs are device-owned (SockChannel::pack_cost), so
   // the same LayerCosts work across devices.
   scrmpi::LayerCosts mpi;
+  /// Optional fault plan, armed against the fabric before any rank starts
+  /// (partitions, frame loss, congestion; host dials do not apply to the
+  /// TCP path). Must outlive the run; invalid plans throw at startup.
+  fault::FaultPlan* faults = nullptr;
 };
 
 /// Run `body` on every rank of an N-node SCRAMNet cluster at the BBP level.

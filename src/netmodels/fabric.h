@@ -24,6 +24,21 @@ struct Frame {
   std::vector<u8> payload;  // includes any protocol headers added above L2
 };
 
+/// Injection point for deterministic fault plans (fault/plan.h). The fabric
+/// consults the hook once per frame at delivery-scheduling time; the hook
+/// may drop the frame (partition / fail-stop loss) or stretch its arrival
+/// (congestion). Implementations must be deterministic functions of the
+/// frame and virtual time -- the sweep engine depends on it.
+class FaultHook {
+ public:
+  struct Verdict {
+    bool drop = false;
+    SimTime extra_delay = 0;
+  };
+  virtual ~FaultHook() = default;
+  virtual Verdict on_frame(const Frame& f, SimTime arrival) = 0;
+};
+
 class Fabric {
  public:
   Fabric(sim::Simulation& sim, u32 hosts) : sim_(sim), hosts_(hosts) {
@@ -48,9 +63,22 @@ class Fabric {
 
   u64 frames_delivered() const { return delivered_.get(); }
   u64 bytes_delivered() const { return bytes_.get(); }
+  u64 frames_dropped() const { return dropped_.get(); }
+
+  /// Install (or clear, with nullptr) the fault hook. Not owned; must
+  /// outlive the fabric or be cleared first.
+  void set_fault_hook(FaultHook* h) { fault_ = h; }
 
  protected:
   void deliver_at(SimTime t, Frame f) {
+    if (fault_ != nullptr) {
+      const FaultHook::Verdict v = fault_->on_frame(f, t);
+      if (v.drop) {
+        dropped_.inc();
+        return;
+      }
+      t += v.extra_delay;
+    }
     auto fp = std::make_shared<Frame>(std::move(f));
     sim_.post_at(t, [this, fp] {
       delivered_.inc();
@@ -62,7 +90,8 @@ class Fabric {
   sim::Simulation& sim_;
   u32 hosts_;
   std::vector<std::unique_ptr<sim::Mailbox<Frame>>> rx_;
-  Counter delivered_, bytes_;
+  Counter delivered_, bytes_, dropped_;
+  FaultHook* fault_ = nullptr;
 };
 
 }  // namespace scrnet::netmodels

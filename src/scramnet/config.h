@@ -74,4 +74,22 @@ struct HostTimings {
   SimTime dma_complete = us(1);       // completion status handling
 };
 
+/// Per-node runtime dials a fault plan can turn mid-run (fault/plan.h).
+/// `io` scales every I/O-bus transaction (PIO, bursts, DMA pacing) --
+/// modeling PCIe/host-port congestion; `cpu` scales protocol CPU costs and
+/// the host's poll loop -- modeling a slow or overloaded node. Ports hold a
+/// pointer so an armed plan's scheduled events take effect immediately;
+/// both default to 1.0, and ports skip the multiply entirely at 1.0 so a
+/// clean run's virtual timeline is bit-identical with or without a plan.
+struct PortDials {
+  double io = 1.0;
+  double cpu = 1.0;
+};
+
+/// Scale a virtual-time cost by a dial factor (identity at 1.0).
+inline SimTime dial_scale(SimTime t, double f) {
+  if (f == 1.0) return t;
+  return static_cast<SimTime>(static_cast<double>(t) * f);
+}
+
 }  // namespace scrnet::scramnet

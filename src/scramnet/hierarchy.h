@@ -101,37 +101,44 @@ class HierarchyPort final : public MemPort {
   u32 nodes() const override { return h_.nodes(); }
   u32 bank_words() const override { return h_.bank_words(); }
 
+  /// Attach fault dials (see SimHostPort::set_dials); nullptr = nominal.
+  void set_dials(const PortDials* d) { dials_ = d; }
+
   void write_u32(u32 word_addr, u32 value) override {
-    proc_.delay(t_.pio_write);
+    proc_.delay(io_t(t_.pio_write));
     h_.host_write(node_, word_addr, value);
   }
   u32 read_u32(u32 word_addr) override {
-    proc_.delay(t_.pio_read);
+    proc_.delay(io_t(t_.pio_read));
     return h_.host_read(node_, word_addr);
   }
   void write_block(u32 word_addr, std::span<const u32> words) override {
     if (words.empty()) return;
-    h_.host_write_block(node_, word_addr, words, t_.burst_write_word);
-    proc_.delay(t_.pio_write +
-                static_cast<SimTime>(words.size() - 1) * t_.burst_write_word);
+    h_.host_write_block(node_, word_addr, words, io_t(t_.burst_write_word));
+    proc_.delay(io_t(t_.pio_write +
+                     static_cast<SimTime>(words.size() - 1) * t_.burst_write_word));
   }
   void read_block(u32 word_addr, std::span<u32> out) override {
     if (out.empty()) return;
-    proc_.delay(t_.pio_read +
-                static_cast<SimTime>(out.size() - 1) * t_.burst_read_word);
+    proc_.delay(io_t(t_.pio_read +
+                     static_cast<SimTime>(out.size() - 1) * t_.burst_read_word));
     h_.host_read_block(node_, word_addr, out);
   }
   SimTime now() const override { return proc_.now(); }
-  void poll_pause() override { proc_.delay(t_.poll_gap); }
-  void cpu_delay(SimTime dt) override { proc_.delay(dt); }
+  void poll_pause() override { proc_.delay(cpu_t(t_.poll_gap)); }
+  void cpu_delay(SimTime dt) override { proc_.delay(cpu_t(dt)); }
 
   u32 peek_u32(u32 word_addr) override { return h_.host_read(node_, word_addr); }
 
  private:
+  SimTime io_t(SimTime t) const { return dials_ ? dial_scale(t, dials_->io) : t; }
+  SimTime cpu_t(SimTime t) const { return dials_ ? dial_scale(t, dials_->cpu) : t; }
+
   RingHierarchy& h_;
   u32 node_;
   sim::Process& proc_;
   HostTimings t_;
+  const PortDials* dials_ = nullptr;
 };
 
 }  // namespace scrnet::scramnet

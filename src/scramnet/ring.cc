@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
 #include "obs/counters.h"
 #include "obs/trace.h"
@@ -14,23 +15,45 @@ Ring::Ring(sim::Simulation& sim, RingConfig cfg) : sim_(sim), cfg_(cfg) {
   tx_free_.assign(cfg_.nodes, 0);
   irq_.resize(cfg_.nodes);
   link_failed_.assign(cfg_.nodes, false);
+  speed_factor_.assign(cfg_.nodes, 1.0);
 }
 
-void Ring::fail_link(u32 node) {
-  assert(node < cfg_.nodes);
+Status Ring::fail_link(u32 node) {
+  if (node >= cfg_.nodes)
+    return Status::InvalidArg("ring: fail_link on nonexistent link " +
+                              std::to_string(node));
   link_failed_[node] = true;
-  if (cfg_.redundant_ring)
+  if (cfg_.redundant_ring) {
+    switchovers_.inc();
     recover_at_ = std::max(recover_at_, sim_.now() + cfg_.switchover);
+  }
+  return Status::Ok();
 }
 
-void Ring::heal_link(u32 node) {
-  assert(node < cfg_.nodes);
+Status Ring::heal_link(u32 node) {
+  if (node >= cfg_.nodes)
+    return Status::InvalidArg("ring: heal_link on nonexistent link " +
+                              std::to_string(node));
   link_failed_[node] = false;
+  return Status::Ok();
+}
+
+Status Ring::set_node_speed_factor(u32 node, double factor) {
+  if (node >= cfg_.nodes)
+    return Status::InvalidArg("ring: speed factor on nonexistent node " +
+                              std::to_string(node));
+  if (!(factor > 0.0))
+    return Status::InvalidArg("ring: speed factor must be positive");
+  speed_factor_[node] = factor;
+  return Status::Ok();
 }
 
 SimTime Ring::inject_packet(u32 src, u32 word_addr, std::span<const u32> words, SimTime ready_at) {
   const u32 payload = static_cast<u32>(words.size()) * 4u;
-  const SimTime occ = cfg_.packet_occupancy(payload);
+  // A wrong-speed NIC serializes slower, holding both its insertion engine
+  // and the shared medium longer (register insertion: the ring waits on the
+  // inserting node). Factor 1.0 is the untouched nominal path.
+  const SimTime occ = dial_scale(cfg_.packet_occupancy(payload), speed_factor_[src]);
   SimTime start = std::max({ready_at, tx_free_[src], ring_free_});
   const SimTime done = start + occ;
   tx_free_[src] = done;
@@ -184,6 +207,7 @@ void Ring::publish_counters(obs::Counters& c, std::string_view group) const {
   c.add(group, "words_replicated", words_replicated());
   c.add(group, "interrupts_fired", interrupts_fired());
   c.add(group, "packets_lost", packets_lost());
+  c.add(group, "switchovers", switchovers());
 }
 
 SimTime Ring::full_propagation_bound() const {

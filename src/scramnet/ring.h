@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/status.h"
 #include "common/types.h"
 #include "scramnet/config.h"
 #include "sim/simulation.h"
@@ -68,11 +69,19 @@ class Ring {
   /// Fail the link from `node` to its downstream neighbor, effective now.
   /// With cfg.redundant_ring the fabric recovers after cfg.switchover and
   /// affected deliveries are delayed; without it they are lost.
-  void fail_link(u32 node);
+  /// kInvalidArg if `node` names no link.
+  Status fail_link(u32 node);
   /// Repair the link (takes effect for packets injected afterwards).
-  void heal_link(u32 node);
-  bool link_failed(u32 node) const { return link_failed_[node]; }
+  Status heal_link(u32 node);
+  /// Scale node `node`'s insertion-engine serialization time by `factor`
+  /// (> 1.0 = a wrong-speed / degraded NIC; 1.0 restores nominal).
+  Status set_node_speed_factor(u32 node, double factor);
+  bool link_failed(u32 node) const {
+    return node < cfg_.nodes && link_failed_[node];
+  }
   u64 packets_lost() const { return lost_.get(); }
+  /// Redundant-ring switchovers initiated by link failures.
+  u64 switchovers() const { return switchovers_.get(); }
 
   // -- statistics ----------------------------------------------------------
   u64 packets_sent() const { return packets_.get(); }
@@ -138,10 +147,11 @@ class Ring {
   SimTime ring_free_ = 0;                   // shared medium
   std::vector<IrqRange> irq_;               // per-node interrupt watch
   std::vector<bool> link_failed_;           // hop node -> node+1 broken
+  std::vector<double> speed_factor_;        // per-node TX serialization scale
   SimTime recover_at_ = 0;                  // redundant switchover deadline
   std::deque<Walk> walk_pool_;              // stable-address packet states
   Walk* walk_free_ = nullptr;
-  Counter packets_, words_, irqs_, lost_;
+  Counter packets_, words_, irqs_, lost_, switchovers_;
 };
 
 }  // namespace scrnet::scramnet

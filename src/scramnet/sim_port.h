@@ -21,17 +21,21 @@ class SimHostPort final : public MemPort {
   u32 nodes() const override { return ring_.nodes(); }
   u32 bank_words() const override { return ring_.bank_words(); }
 
+  /// Attach this port's fault dials (fault::FaultPlan owns them and mutates
+  /// them from scheduled events). nullptr (the default) means nominal.
+  void set_dials(const PortDials* d) { dials_ = d; }
+
   void write_u32(u32 word_addr, u32 value) override {
     // Posted write: the bus transaction costs pio_write, after which the
     // word is in the NIC and on its way around the ring.
-    proc_.delay(t_.pio_write);
+    proc_.delay(io_t(t_.pio_write));
     ring_.host_write(node_, word_addr, value);
   }
 
   u32 read_u32(u32 word_addr) override {
     // Non-posted PCI read: the CPU stalls for the full round trip and the
     // value it gets is the bank content at completion time.
-    proc_.delay(t_.pio_read);
+    proc_.delay(io_t(t_.pio_read));
     return ring_.host_read(node_, word_addr);
   }
 
@@ -39,21 +43,21 @@ class SimHostPort final : public MemPort {
     if (words.empty()) return;
     // Inject paced chunks first (pacing starts now), then burn the host
     // burst time; ring serialization overlaps the PIO burst.
-    ring_.host_write_block(node_, word_addr, words, t_.burst_write_word);
-    proc_.delay(t_.pio_write +
-                static_cast<SimTime>(words.size() - 1) * t_.burst_write_word);
+    ring_.host_write_block(node_, word_addr, words, io_t(t_.burst_write_word));
+    proc_.delay(io_t(t_.pio_write +
+                     static_cast<SimTime>(words.size() - 1) * t_.burst_write_word));
   }
 
   void read_block(u32 word_addr, std::span<u32> out) override {
     if (out.empty()) return;
-    proc_.delay(t_.pio_read +
-                static_cast<SimTime>(out.size() - 1) * t_.burst_read_word);
+    proc_.delay(io_t(t_.pio_read +
+                     static_cast<SimTime>(out.size() - 1) * t_.burst_read_word));
     ring_.host_read_block(node_, word_addr, out);
   }
 
   SimTime now() const override { return proc_.now(); }
-  void poll_pause() override { proc_.delay(t_.poll_gap); }
-  void cpu_delay(SimTime dt) override { proc_.delay(dt); }
+  void poll_pause() override { proc_.delay(cpu_t(t_.poll_gap)); }
+  void cpu_delay(SimTime dt) override { proc_.delay(cpu_t(dt)); }
 
   u32 peek_u32(u32 word_addr) override { return ring_.host_read(node_, word_addr); }
 
@@ -66,9 +70,9 @@ class SimHostPort final : public MemPort {
     // CPU: descriptor + doorbell, then the NIC masters the bus while the
     // process is free; ordering with later port writes is preserved by the
     // ring's per-sender insertion engine (tx_free_).
-    proc_.delay(t_.dma_setup);
-    ring_.host_write_block(node_, word_addr, words, t_.dma_per_word);
-    proc_.delay(t_.dma_complete);
+    proc_.delay(io_t(t_.dma_setup));
+    ring_.host_write_block(node_, word_addr, words, io_t(t_.dma_per_word));
+    proc_.delay(io_t(t_.dma_complete));
   }
 
   // -- interrupt-driven receive (paper Section 7 future work) --------------
@@ -94,10 +98,14 @@ class SimHostPort final : public MemPort {
   sim::Process& process() { return proc_; }
 
  private:
+  SimTime io_t(SimTime t) const { return dials_ ? dial_scale(t, dials_->io) : t; }
+  SimTime cpu_t(SimTime t) const { return dials_ ? dial_scale(t, dials_->cpu) : t; }
+
   Ring& ring_;
   u32 node_;
   sim::Process& proc_;
   HostTimings t_;
+  const PortDials* dials_ = nullptr;
   std::unique_ptr<sim::Signal> irq_;
   u64 pending_irqs_ = 0;
 };

@@ -58,12 +58,15 @@ Request Engine::isend(u32 dst, u16 ctx, i32 tag, std::span<const u8> data) {
 
   if (data.size() <= dev_.eager_limit()) {
     // Short/eager: envelope + payload leave in one packet; the request is
-    // complete as soon as the channel accepts it.
+    // complete as soon as the channel accepts it. A failed transmit (the
+    // device waited out its bounded wait) completes the request with the
+    // propagated error instead of hanging the caller.
     h.kind = data.size() <= dev_.short_limit() ? PktKind::kShort : PktKind::kEager;
     dev_.cpu(costs_.channel_pack +
              scaled(dev_.pack_cost(static_cast<u32>(data.size()))));
-    dev_.send_packet(dst, h, data);
+    const Status st = dev_.send_packet(dst, h, data);
     r.state = Req::State::kDone;
+    if (!st.ok()) r.status.err = st.code();
     return Request{idx};
   }
 
@@ -80,7 +83,12 @@ Request Engine::isend(u32 dst, u16 ctx, i32 tag, std::span<const u8> data) {
   r.dst = dst;
   r.send_copy.assign(data.begin(), data.end());
   dev_.cpu(costs_.channel_pack);
-  dev_.send_packet(dst, h, len_payload);
+  const Status st = dev_.send_packet(dst, h, len_payload);
+  if (!st.ok()) {
+    r.send_copy.clear();
+    r.state = Req::State::kDone;
+    r.status.err = st.code();
+  }
   return Request{idx};
 }
 
@@ -116,7 +124,10 @@ Request Engine::irecv(i32 src, u16 ctx, i32 tag, std::span<u8> buf) {
       r.state = Req::State::kRecvWaitData;
       r.status = status_of(u.hdr);
       r.status.count_bytes = rts_msg_len(u.payload);
-      dev_.send_packet(u.hdr.src, cts, {});
+      if (const Status st = dev_.send_packet(u.hdr.src, cts, {}); !st.ok()) {
+        r.state = Req::State::kDone;
+        r.status.err = st.code();
+      }
     } else {
       complete_recv_into(idx, u.hdr, u.payload);
     }
@@ -184,7 +195,10 @@ void Engine::handle(Packet pkt) {
         r.state = Req::State::kRecvWaitData;
         r.status = status_of(h);
         r.status.count_bytes = rts_msg_len(pkt.payload);
-        dev_.send_packet(h.src, cts, {});
+        if (const Status st = dev_.send_packet(h.src, cts, {}); !st.ok()) {
+          r.state = Req::State::kDone;
+          r.status.err = st.code();
+        }
         return;
       }
       unexpected_.push_back(Unexpected{h, std::move(pkt.payload)});
@@ -192,8 +206,22 @@ void Engine::handle(Packet pkt) {
     }
     case PktKind::kRndvCts: {
       const u32 idx = h.aux;
-      assert(idx < reqs_.size() && reqs_[idx].state == Req::State::kSendWaitCts);
+      if (idx >= reqs_.size()) {
+        ++malformed_packets_;
+        return;
+      }
       Req& r = reqs_[idx];
+      if (r.state == Req::State::kZombie) {
+        // The sender's wait timed out before this CTS arrived; the request
+        // id was parked exactly so this packet can be reaped safely.
+        ++stale_packets_;
+        free_req(idx);
+        return;
+      }
+      if (r.state != Req::State::kSendWaitCts) {
+        ++stale_packets_;
+        return;
+      }
       PktHeader data_hdr;
       data_hdr.kind = PktKind::kRndvData;
       data_hdr.ctx = h.ctx;
@@ -202,15 +230,28 @@ void Engine::handle(Packet pkt) {
       data_hdr.aux = static_cast<u32>(h.tag);  // receiver's request id
       dev_.cpu(costs_.channel_pack +
                scaled(dev_.pack_cost(static_cast<u32>(r.send_copy.size()))));
-      dev_.send_packet(r.dst, data_hdr, r.send_copy);
+      const Status st = dev_.send_packet(r.dst, data_hdr, r.send_copy);
       r.send_copy.clear();
       r.state = Req::State::kDone;
+      if (!st.ok()) r.status.err = st.code();
       return;
     }
     case PktKind::kRndvData: {
       const u32 idx = h.aux;
-      assert(idx < reqs_.size() && reqs_[idx].state == Req::State::kRecvWaitData);
+      if (idx >= reqs_.size()) {
+        ++malformed_packets_;
+        return;
+      }
       Req& r = reqs_[idx];
+      if (r.state == Req::State::kZombie) {
+        ++stale_packets_;
+        free_req(idx);
+        return;
+      }
+      if (r.state != Req::State::kRecvWaitData) {
+        ++stale_packets_;
+        return;
+      }
       const i32 keep_tag = r.status.tag;  // envelope came with the RTS
       const i32 keep_src = r.status.source;
       complete_recv_into(idx, h, pkt.payload);
@@ -235,24 +276,63 @@ void Engine::handle(Packet pkt) {
       return;
     }
   }
-  throw std::runtime_error("scrmpi: unknown packet kind");
+  // Unknown packet kind: under fault injection a corrupted or stale frame
+  // can decode to garbage; count and drop rather than kill the rank.
+  ++malformed_packets_;
 }
 
 // ---------------------------------------------------------------------------
 // Completion
 // ---------------------------------------------------------------------------
 
-void Engine::spin_until_done(u32 idx) {
+bool Engine::spin_until_done(u32 idx) {
+  const SimTime deadline =
+      costs_.op_timeout > 0 ? dev_.now() + costs_.op_timeout : 0;
   while (reqs_[idx].state != Req::State::kDone) {
-    if (!progress()) dev_.idle_pause();
+    if (!progress()) {
+      if (deadline != 0 && dev_.now() >= deadline) return false;
+      dev_.idle_pause();
+    }
   }
+  return true;
+}
+
+MpiStatus Engine::timeout_request(u32 idx) {
+  ++timeouts_;
+  Req& r = reqs_[idx];
+  MpiStatus st = r.status;
+  st.err = StatusCode::kTimedOut;
+  switch (r.state) {
+    case Req::State::kRecvPosted: {
+      // Never matched: nothing in flight names this request, so the id can
+      // be recycled once it leaves the posted queue.
+      auto it = std::find(posted_.begin(), posted_.end(), idx);
+      if (it != posted_.end()) posted_.erase(it);
+      free_req(idx);
+      break;
+    }
+    case Req::State::kSendWaitCts:
+    case Req::State::kRecvWaitData:
+      // A late CTS/Data carrying this id may still arrive: park as zombie
+      // (handle() reaps it) so the id is never recycled onto a live
+      // request. The caller's buffer must be dropped now -- it dies with
+      // this call.
+      r.state = Req::State::kZombie;
+      r.send_copy.clear();
+      r.buf = {};
+      break;
+    default:
+      free_req(idx);
+      break;
+  }
+  return st;
 }
 
 MpiStatus Engine::wait(Request req) {
   TRACE_SPAN(obs::Layer::kMpi, rank(), "adi.wait", dev_);
   assert(req.valid() && req.idx < reqs_.size());
   assert(reqs_[req.idx].state != Req::State::kFree && "wait on freed request");
-  spin_until_done(req.idx);
+  if (!spin_until_done(req.idx)) return timeout_request(req.idx);
   const MpiStatus st = reqs_[req.idx].status;
   free_req(req.idx);
   return st;
@@ -268,9 +348,19 @@ std::optional<MpiStatus> Engine::test(Request req) {
 }
 
 MpiStatus Engine::probe(i32 src, u16 ctx, i32 tag) {
+  const SimTime deadline =
+      costs_.op_timeout > 0 ? dev_.now() + costs_.op_timeout : 0;
   for (;;) {
     if (auto st = iprobe(src, ctx, tag)) return *st;
-    if (!progress()) dev_.idle_pause();
+    if (!progress()) {
+      if (deadline != 0 && dev_.now() >= deadline) {
+        ++timeouts_;
+        MpiStatus st;
+        st.err = StatusCode::kTimedOut;
+        return st;
+      }
+      dev_.idle_pause();
+    }
   }
 }
 
@@ -299,7 +389,9 @@ void Engine::coll_mcast(std::span<const u32> dsts, u16 ctx, PktKind kind,
   h.len = static_cast<u32>(data.size());
   h.aux = aux;
   dev_.cpu(costs_.coll_fast + scaled(dev_.pack_cost(static_cast<u32>(data.size()))));
-  dev_.mcast_packet(dsts, h, data);
+  // Collective transport keeps fire-and-forget semantics: a degraded path
+  // surfaces at the blocked coll_wait_* peer, not here.
+  (void)dev_.mcast_packet(dsts, h, data);
 }
 
 void Engine::coll_send(u32 dst, u16 ctx, PktKind kind, u32 aux,
@@ -311,7 +403,7 @@ void Engine::coll_send(u32 dst, u16 ctx, PktKind kind, u32 aux,
   h.len = static_cast<u32>(data.size());
   h.aux = aux;
   dev_.cpu(costs_.coll_fast);
-  dev_.send_packet(dst, h, data);
+  (void)dev_.send_packet(dst, h, data);
 }
 
 std::vector<u8> Engine::coll_wait_data(u16 ctx, u32 root) {

@@ -37,6 +37,13 @@ struct LayerCosts {
   SimTime probe = us(2);
   SimTime coll_fast = us(1);      // native-multicast collective bookkeeping
                                   // (thin wrapper straight onto bbp_Mcast)
+  // Bounded wait for wait()/probe(): once a blocking completion has made
+  // no progress for this much virtual time the call returns with
+  // MpiStatus::err = kTimedOut instead of spinning forever. A timed-out
+  // rendezvous request is parked as a zombie (its id is never recycled)
+  // so a late CTS/Data is dropped, not mis-matched. 0 = wait forever
+  // (the default -- the paper's blocking semantics).
+  SimTime op_timeout = 0;
 };
 
 class Engine {
@@ -80,10 +87,20 @@ class Engine {
   u64 packets_handled() const { return packets_handled_; }
   usize unexpected_depth() const { return unexpected_.size(); }
   usize posted_depth() const { return posted_.size(); }
+  /// Blocking completions that returned kTimedOut.
+  u64 op_timeouts() const { return timeouts_; }
+  /// Packets referencing a dead (timed-out) or mismatched request, dropped.
+  u64 stale_packets() const { return stale_packets_; }
+  /// Undecodable packets (unknown kind / bad request index), dropped.
+  u64 malformed_packets() const { return malformed_packets_; }
 
  private:
   struct Req {
-    enum class State : u8 { kFree, kSendWaitCts, kRecvPosted, kRecvWaitData, kDone };
+    // kZombie: a rendezvous request whose wait timed out while a CTS/Data
+    // naming its id may still be in flight; parked so the id is not
+    // recycled, reaped when the late packet (if any) arrives.
+    enum class State : u8 { kFree, kSendWaitCts, kRecvPosted, kRecvWaitData,
+                            kZombie, kDone };
     State state = State::kFree;
     // Send side (rendezvous): payload retained until CTS arrives.
     std::vector<u8> send_copy;
@@ -121,8 +138,12 @@ class Engine {
   void handle(Packet pkt);
   void complete_recv_into(u32 req_idx, const PktHeader& hdr,
                           std::span<const u8> payload);
-  /// Run the progress loop until req is done.
-  void spin_until_done(u32 idx);
+  /// Run the progress loop until req is done; false when costs_.op_timeout
+  /// is set and expired first.
+  bool spin_until_done(u32 idx);
+  /// Tear down a request whose wait timed out (unlink or zombie it) and
+  /// build the kTimedOut status to hand the caller.
+  MpiStatus timeout_request(u32 idx);
   MpiStatus status_of(const PktHeader& h) const {
     MpiStatus st;
     st.source = static_cast<i32>(h.src);
@@ -144,6 +165,9 @@ class Engine {
   std::map<u16, u32> release_epoch_;                                  // ctx -> max
 
   u64 packets_handled_ = 0;
+  u64 timeouts_ = 0;
+  u64 stale_packets_ = 0;
+  u64 malformed_packets_ = 0;
 };
 
 }  // namespace scrnet::scrmpi

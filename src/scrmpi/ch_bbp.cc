@@ -16,16 +16,14 @@ std::vector<u8> BbpChannel::frame(const PktHeader& hdr,
   return bytes;
 }
 
-void BbpChannel::send_packet(u32 dst, const PktHeader& hdr,
-                             std::span<const u8> payload) {
-  const Status st = ep_.send(dst, frame(hdr, payload));
-  if (!st.ok()) throw std::runtime_error("ch_bbp send failed: " + st.to_string());
+Status BbpChannel::send_packet(u32 dst, const PktHeader& hdr,
+                               std::span<const u8> payload) {
+  return ep_.send(dst, frame(hdr, payload));
 }
 
-void BbpChannel::mcast_packet(std::span<const u32> dsts, const PktHeader& hdr,
-                              std::span<const u8> payload) {
-  const Status st = ep_.mcast(dsts, frame(hdr, payload));
-  if (!st.ok()) throw std::runtime_error("ch_bbp mcast failed: " + st.to_string());
+Status BbpChannel::mcast_packet(std::span<const u32> dsts, const PktHeader& hdr,
+                                std::span<const u8> payload) {
+  return ep_.mcast(dsts, frame(hdr, payload));
 }
 
 std::optional<Packet> BbpChannel::poll_packet() {

@@ -21,13 +21,13 @@ class BbpChannel final : public ChannelDevice {
   u32 rank() const override { return ep_.rank(); }
   u32 size() const override { return ep_.procs(); }
 
-  void send_packet(u32 dst, const PktHeader& hdr,
-                   std::span<const u8> payload) override;
+  Status send_packet(u32 dst, const PktHeader& hdr,
+                     std::span<const u8> payload) override;
   std::optional<Packet> poll_packet() override;
 
   bool has_native_mcast() const override { return true; }
-  void mcast_packet(std::span<const u32> dsts, const PktHeader& hdr,
-                    std::span<const u8> payload) override;
+  Status mcast_packet(std::span<const u32> dsts, const PktHeader& hdr,
+                      std::span<const u8> payload) override;
 
   /// The channel-interface copy is a real extra pass over the payload on
   /// this device (user buffer -> packet frame) -- the cost the paper's

@@ -5,12 +5,12 @@
 
 namespace scrnet::scrmpi {
 
-void HybridChannel::send_packet(u32 dst, const PktHeader& hdr,
-                                std::span<const u8> payload) {
+Status HybridChannel::send_packet(u32 dst, const PktHeader& hdr,
+                                  std::span<const u8> payload) {
   if (is_collective(hdr.kind)) {
-    low_.send_packet(dst, hdr, payload);
-    ++low_pkts_;
-    return;
+    Status st = low_.send_packet(dst, hdr, payload);
+    if (st.ok()) ++low_pkts_;
+    return st;
   }
   // Point-to-point: preamble with the per-destination sequence number so
   // the receiver can restore cross-network ordering.
@@ -24,13 +24,18 @@ void HybridChannel::send_packet(u32 dst, const PktHeader& hdr,
 
   PktHeader h = hdr;
   h.len = static_cast<u32>(wrapped.size());
+  // The sequence number stays consumed even if the transmit fails: the
+  // receiver's stash skips a hole only when the whole path is already
+  // degraded, and re-using the seq for a later packet would corrupt
+  // ordering for good.
   if (payload.size() <= threshold_) {
-    low_.send_packet(dst, h, wrapped);
-    ++low_pkts_;
-  } else {
-    high_.send_packet(dst, h, wrapped);
-    ++high_pkts_;
+    Status st = low_.send_packet(dst, h, wrapped);
+    if (st.ok()) ++low_pkts_;
+    return st;
   }
+  Status st = high_.send_packet(dst, h, wrapped);
+  if (st.ok()) ++high_pkts_;
+  return st;
 }
 
 u32 HybridChannel::unwrap(Packet& pkt) {

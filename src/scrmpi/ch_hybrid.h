@@ -39,14 +39,14 @@ class HybridChannel final : public ChannelDevice {
   u32 rank() const override { return low_.rank(); }
   u32 size() const override { return low_.size(); }
 
-  void send_packet(u32 dst, const PktHeader& hdr,
-                   std::span<const u8> payload) override;
+  Status send_packet(u32 dst, const PktHeader& hdr,
+                     std::span<const u8> payload) override;
   std::optional<Packet> poll_packet() override;
 
   bool has_native_mcast() const override { return low_.has_native_mcast(); }
-  void mcast_packet(std::span<const u32> dsts, const PktHeader& hdr,
-                    std::span<const u8> payload) override {
-    low_.mcast_packet(dsts, hdr, payload);  // collectives stay on SCRAMNet
+  Status mcast_packet(std::span<const u32> dsts, const PktHeader& hdr,
+                      std::span<const u8> payload) override {
+    return low_.mcast_packet(dsts, hdr, payload);  // collectives stay on SCRAMNet
   }
 
   /// Per-byte costs follow the wire the payload will actually take.

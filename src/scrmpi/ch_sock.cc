@@ -4,15 +4,18 @@
 
 namespace scrnet::scrmpi {
 
-void SockChannel::send_packet(u32 dst, const PktHeader& hdr,
-                              std::span<const u8> payload) {
+Status SockChannel::send_packet(u32 dst, const PktHeader& hdr,
+                                std::span<const u8> payload) {
   std::vector<u8> frame(kHeaderBytes + payload.size());
   u32 words[kHeaderWords];
   encode_header(hdr, words);
   std::memcpy(frame.data(), words, kHeaderBytes);
   if (!payload.empty())
     std::memcpy(frame.data() + kHeaderBytes, payload.data(), payload.size());
+  // The stack buffers and never blocks; a partitioned path fails at the
+  // receiver (the stream goes silent), surfaced by the ADI's op timeout.
   stack_.send(proc_, dst, frame);
+  return Status::Ok();
 }
 
 std::optional<Packet> SockChannel::poll_packet() {

@@ -26,8 +26,8 @@ class SockChannel final : public ChannelDevice {
   u32 rank() const override { return stack_.host(); }
   u32 size() const override { return size_; }
 
-  void send_packet(u32 dst, const PktHeader& hdr,
-                   std::span<const u8> payload) override;
+  Status send_packet(u32 dst, const PktHeader& hdr,
+                     std::span<const u8> payload) override;
   std::optional<Packet> poll_packet() override;
 
   /// MPICH-over-TCP folds its packetization into the user<->kernel copy

@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "common/units.h"
 
@@ -79,8 +80,11 @@ class ChannelDevice {
   virtual u32 size() const = 0;
 
   /// MPID_SendControl (+ MPID_SendChannel fused): transmit one packet.
-  virtual void send_packet(u32 dst, const PktHeader& hdr,
-                           std::span<const u8> payload) = 0;
+  /// Degraded-mode devices surface bounded-wait expiry as kTimedOut (the
+  /// BBP device under a lost ACK path); a clean transmit is kOk. Malformed
+  /// arguments are still programming errors.
+  virtual Status send_packet(u32 dst, const PktHeader& hdr,
+                             std::span<const u8> payload) = 0;
 
   /// MPID_ControlMsgAvail + MPID_RecvAnyControl fused: return the next
   /// fully reassembled packet if one is available (non-blocking).
@@ -91,10 +95,14 @@ class ChannelDevice {
   /// with extra functionality).
   virtual bool has_native_mcast() const { return false; }
 
-  /// Multicast a packet; default loops over send_packet.
-  virtual void mcast_packet(std::span<const u32> dsts, const PktHeader& hdr,
-                            std::span<const u8> payload) {
-    for (u32 d : dsts) send_packet(d, hdr, payload);
+  /// Multicast a packet; default loops over send_packet and stops at the
+  /// first failure.
+  virtual Status mcast_packet(std::span<const u32> dsts, const PktHeader& hdr,
+                              std::span<const u8> payload) {
+    for (u32 d : dsts) {
+      if (Status st = send_packet(d, hdr, payload); !st.ok()) return st;
+    }
+    return Status::Ok();
   }
 
   /// CPU cost of packetizing `len` payload bytes into this device (the

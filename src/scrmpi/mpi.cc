@@ -74,13 +74,13 @@ Request Mpi::irecv(void* buf, u32 count, Datatype dt, i32 src, i32 tag,
   return engine_.irecv(world_src, comm.p2p_ctx(), tag, as_bytes(buf, count, dt));
 }
 
-void Mpi::send(const void* buf, u32 count, Datatype dt, i32 dest, i32 tag,
-               const Comm& comm) {
+MpiStatus Mpi::send(const void* buf, u32 count, Datatype dt, i32 dest, i32 tag,
+                    const Comm& comm) {
   TRACE_SPAN(obs::Layer::kMpi, engine_.rank(), "mpi.send", engine_.device());
   TimedCall tc(*this);
   ++stats_.sends;
   stats_.bytes_sent += static_cast<u64>(count) * datatype_size(dt);
-  wait(isend(buf, count, dt, dest, tag, comm), comm);
+  return wait(isend(buf, count, dt, dest, tag, comm), comm);
 }
 
 MpiStatus Mpi::recv(void* buf, u32 count, Datatype dt, i32 src, i32 tag,
@@ -508,6 +508,9 @@ void Mpi::publish_counters(obs::Counters& c, std::string_view group) const {
   c.add(group, "bytes_received", stats_.bytes_received);
   c.add(group, "time_in_mpi_ns", static_cast<u64>(to_ns(stats_.time_in_mpi)));
   c.add(group, "packets_handled", engine_.packets_handled());
+  c.add(group, "op_timeouts", engine_.op_timeouts());
+  c.add(group, "stale_packets", engine_.stale_packets());
+  c.add(group, "malformed_packets", engine_.malformed_packets());
 }
 
 // ---------------------------------------------------------------------------

@@ -83,8 +83,11 @@ class Mpi {
   Engine& engine() { return engine_; }
 
   // -- point to point ------------------------------------------------------
-  void send(const void* buf, u32 count, Datatype dt, i32 dest, i32 tag,
-            const Comm& comm);
+  /// Blocking send. The returned status carries err = kTimedOut when the
+  /// engine's op_timeout (or the device's bounded wait) expired before the
+  /// send could complete; existing callers may ignore it.
+  MpiStatus send(const void* buf, u32 count, Datatype dt, i32 dest, i32 tag,
+                 const Comm& comm);
   MpiStatus recv(void* buf, u32 count, Datatype dt, i32 src, i32 tag,
                  const Comm& comm);
   Request isend(const void* buf, u32 count, Datatype dt, i32 dest, i32 tag,

@@ -5,6 +5,7 @@
 
 #include <string_view>
 
+#include "common/status.h"
 #include "common/types.h"
 
 namespace scrnet::scrmpi {
@@ -54,12 +55,17 @@ constexpr std::string_view datatype_name(Datatype d) {
 /// Reduction operators.
 enum class ReduceOp : u8 { kSum, kProd, kMax, kMin, kLand, kLor, kBand, kBor };
 
-/// Completion status of a receive (subset of MPI_Status).
+/// Completion status of a receive (subset of MPI_Status, plus an error
+/// field like MPI_ERROR: kTimedOut when a bounded wait expired before the
+/// operation completed, or the propagated channel error of a failed send).
 struct MpiStatus {
   i32 source = kAnySource;
   i32 tag = kAnyTag;
   u32 count_bytes = 0;
   bool truncated = false;
+  StatusCode err = StatusCode::kOk;
+
+  bool ok() const { return err == StatusCode::kOk; }
 };
 
 /// Opaque request handle (index into the engine's request table).

@@ -30,13 +30,14 @@ class MockDevice final : public ChannelDevice {
   u32 rank() const override { return rank_; }
   u32 size() const override { return size_; }
 
-  void send_packet(u32 dst, const PktHeader& hdr,
-                   std::span<const u8> payload) override {
+  Status send_packet(u32 dst, const PktHeader& hdr,
+                     std::span<const u8> payload) override {
     Packet p;
     p.hdr = hdr;
     p.payload.assign(payload.begin(), payload.end());
     fab_.queues_[dst].push_back(std::move(p));
     ++sent_;
+    return Status::Ok();
   }
 
   std::optional<Packet> poll_packet() override {

@@ -114,6 +114,57 @@ TEST(Stats, SamplesPercentiles) {
   EXPECT_DOUBLE_EQ(s.mean(), 50.5);
 }
 
+TEST(LogHistogram, BucketRoundTripAndMonotonicity) {
+  // lower_bound(bucket_of(v)) <= v, and the low 16 values are exact.
+  for (u64 v = 0; v < LogHistogram::kSub; ++v) {
+    EXPECT_EQ(LogHistogram::lower_bound(LogHistogram::bucket_of(v)), v);
+  }
+  for (u64 v : {u64{17}, u64{100}, u64{1000}, u64{123456}, u64{1} << 40,
+                (u64{1} << 40) + 12345, ~u64{0}}) {
+    const u32 b = LogHistogram::bucket_of(v);
+    EXPECT_LT(b, LogHistogram::kBuckets);
+    EXPECT_LE(LogHistogram::lower_bound(b), v);
+    // The next bucket starts strictly above this one's lower bound.
+    if (b + 1 < LogHistogram::kBuckets) {
+      EXPECT_GT(LogHistogram::lower_bound(b + 1), LogHistogram::lower_bound(b));
+    }
+  }
+}
+
+TEST(LogHistogram, PercentilesOnKnownData) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile_permille(500), 0u);  // empty -> 0
+  EXPECT_EQ(h.max(), 0u);
+  // 1000 samples: 990 at 10, 9 at 1000, 1 at 8000.
+  for (int i = 0; i < 990; ++i) h.add(10);
+  for (int i = 0; i < 9; ++i) h.add(1000);
+  h.add(8000);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.percentile_permille(500), 10u);
+  EXPECT_EQ(h.percentile_permille(990), 10u);
+  // p99.9 lands on the 999th sample: value 1000, reported as its bucket's
+  // lower bound (within one sub-bucket, i.e. 1/16 of an octave, below).
+  const u64 p999 = h.percentile_permille(999);
+  EXPECT_LE(p999, 1000u);
+  EXPECT_GT(p999, 1000u - (1000u >> LogHistogram::kSubBits) - 1);
+  EXPECT_EQ(h.max(), 8000u);
+}
+
+TEST(LogHistogram, MergeMatchesCombinedStream) {
+  LogHistogram a, b, all;
+  for (u64 v = 1; v <= 500; ++v) {
+    (v % 2 ? a : b).add(v * 7);
+    all.add(v * 7);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.max(), all.max());
+  for (u32 pm : {500u, 990u, 999u}) {
+    EXPECT_EQ(a.percentile_permille(pm), all.percentile_permille(pm));
+  }
+}
+
 TEST(Bytes, PackUnpackRoundTrip) {
   for (usize n : {0u, 1u, 3u, 4u, 5u, 100u, 1023u}) {
     std::vector<u8> in(n);

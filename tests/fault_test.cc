@@ -1,10 +1,16 @@
 // Failure-injection tests: link failures on the ring, with and without
-// the redundant-cabling option, and their effect on the BillBoard
-// Protocol.
+// the redundant-cabling option, their effect on the BillBoard Protocol,
+// and the deterministic FaultPlan layer (validation, flapping links,
+// wrong-speed NICs, seeded frame loss, hierarchy host dials).
 #include <gtest/gtest.h>
+
+#include <utility>
 
 #include "bbp/endpoint.h"
 #include "common/bytes.h"
+#include "fault/plan.h"
+#include "netmodels/ethernet.h"
+#include "scramnet/hierarchy.h"
 #include "scramnet/ring.h"
 #include "scramnet/sim_port.h"
 
@@ -127,6 +133,300 @@ TEST(Fault, BbpStallsForeverWithoutRedundancy) {
     (void)ep.recv(0, buf);  // never completes
   });
   EXPECT_THROW(sim.run(), sim::DeadlockError);
+}
+
+TEST(Fault, BadIndexReturnsErrorStatus) {
+  // The ring fault API reports a nonexistent link/node as an error Status,
+  // never an assert or a silent no-op.
+  sim::Simulation sim;
+  RingConfig cfg;
+  cfg.nodes = 4;
+  cfg.bank_words = 256;
+  Ring ring(sim, cfg);
+  EXPECT_EQ(ring.fail_link(4).code(), StatusCode::kInvalidArg);
+  EXPECT_EQ(ring.heal_link(99).code(), StatusCode::kInvalidArg);
+  EXPECT_EQ(ring.set_node_speed_factor(4, 2.0).code(), StatusCode::kInvalidArg);
+  EXPECT_EQ(ring.set_node_speed_factor(0, 0.0).code(), StatusCode::kInvalidArg);
+  EXPECT_EQ(ring.set_node_speed_factor(0, -1.0).code(), StatusCode::kInvalidArg);
+  EXPECT_FALSE(ring.link_failed(4));
+  // The valid wrap link still works.
+  EXPECT_TRUE(ring.fail_link(3).ok());
+  EXPECT_TRUE(ring.link_failed(3));
+  EXPECT_TRUE(ring.heal_link(3).ok());
+  EXPECT_FALSE(ring.link_failed(3));
+}
+
+TEST(FaultPlan, ArmValidatesEveryTargetUpFront) {
+  sim::Simulation sim;
+  RingConfig cfg;
+  cfg.nodes = 4;
+  cfg.bank_words = 256;
+  Ring ring(sim, cfg);
+  netmodels::EthernetFabric fab(sim, 4);
+
+  {  // nonexistent link
+    fault::FaultPlan p;
+    p.link_down(us(1), 7);
+    EXPECT_EQ(p.arm(sim, &ring).code(), StatusCode::kInvalidArg);
+  }
+  {  // nonexistent dial target
+    fault::FaultPlan p;
+    p.slow_node(us(1), 9, 2.0);
+    EXPECT_EQ(p.arm(sim, &ring).code(), StatusCode::kInvalidArg);
+  }
+  {  // non-positive NIC speed factor
+    fault::FaultPlan p;
+    p.nic_speed(us(1), 1, 0.0);
+    EXPECT_EQ(p.arm(sim, &ring).code(), StatusCode::kInvalidArg);
+  }
+  {  // fabric fault with no fabric to install the hook on
+    fault::FaultPlan p;
+    p.partition(us(1), 0, 1);
+    EXPECT_EQ(p.arm(sim, &ring).code(), StatusCode::kInvalidArg);
+  }
+  {  // ring fault with no ring
+    fault::FaultPlan p;
+    p.link_down(us(1), 1);
+    EXPECT_EQ(p.arm(sim, nullptr, &fab).code(), StatusCode::kInvalidArg);
+  }
+  {  // loss probability outside [0, 1]
+    fault::FaultPlan p;
+    p.frame_loss(us(1), us(2), 1.5, 7);
+    EXPECT_EQ(p.arm(sim, nullptr, &fab).code(), StatusCode::kInvalidArg);
+  }
+  {  // empty pause window
+    fault::FaultPlan p;
+    p.pause_node(2, us(5), us(5));
+    EXPECT_EQ(p.arm(sim, &ring).code(), StatusCode::kInvalidArg);
+  }
+  {  // no topology at all
+    fault::FaultPlan p;
+    EXPECT_EQ(p.arm(sim, nullptr, nullptr).code(), StatusCode::kInvalidArg);
+  }
+  {  // arming twice is an error (posted events point at the plan)
+    fault::FaultPlan p;
+    p.link_down(us(1), 1);
+    EXPECT_TRUE(p.arm(sim, &ring).ok());
+    EXPECT_EQ(p.arm(sim, &ring).code(), StatusCode::kUnavailable);
+  }
+}
+
+TEST(FaultPlan, ArmHostsRejectsRingAndFabricKinds) {
+  sim::Simulation sim;
+  {
+    fault::FaultPlan p;
+    p.link_down(us(1), 0);
+    EXPECT_EQ(p.arm_hosts(sim, 4).code(), StatusCode::kInvalidArg);
+  }
+  {
+    fault::FaultPlan p;
+    p.fabric_congestion(us(1), us(2), us(3));
+    EXPECT_EQ(p.arm_hosts(sim, 4).code(), StatusCode::kInvalidArg);
+  }
+  {
+    fault::FaultPlan p;
+    p.slow_node(us(1), 1, 2.0);
+    EXPECT_EQ(p.dials(1), nullptr);  // no dials before arming
+    EXPECT_TRUE(p.arm_hosts(sim, 4).ok());
+    EXPECT_NE(p.dials(1), nullptr);
+    EXPECT_EQ(p.dials(4), nullptr);  // out of range stays null
+  }
+}
+
+TEST(FaultPlan, FlappingLinkDropsOnlyDuringDownWindows) {
+  sim::Simulation sim;
+  RingConfig cfg;
+  cfg.nodes = 4;
+  cfg.bank_words = 1024;
+  Ring ring(sim, cfg);
+  fault::FaultPlan p;
+  // Link 1 -> 2: down [10, 20)us, up [20, 30)us, down [30, 40)us, up after.
+  p.flapping_link(1, us(10), us(10), us(10), 2);
+  ASSERT_TRUE(p.arm(sim, &ring).ok());
+  // One write from node 0 inside each window (link state is sampled at
+  // packet injection).
+  sim.post_at(us(5), [&] { ring.host_write(0, 0, 1); });
+  sim.post_at(us(15), [&] { ring.host_write(0, 1, 2); });
+  sim.post_at(us(25), [&] { ring.host_write(0, 2, 3); });
+  sim.post_at(us(35), [&] { ring.host_write(0, 3, 4); });
+  sim.post_at(us(45), [&] { ring.host_write(0, 4, 5); });
+  sim.run();
+  // Node 1 sits before the flapping link and sees everything.
+  for (u32 a = 0; a < 5; ++a) EXPECT_EQ(ring.host_read(1, a), a + 1);
+  // Nodes 2 and 3 lose exactly the writes injected during down windows.
+  for (u32 n = 2; n < 4; ++n) {
+    EXPECT_EQ(ring.host_read(n, 0), 1u);
+    EXPECT_EQ(ring.host_read(n, 1), 0u);
+    EXPECT_EQ(ring.host_read(n, 2), 3u);
+    EXPECT_EQ(ring.host_read(n, 3), 0u);
+    EXPECT_EQ(ring.host_read(n, 4), 5u);
+  }
+  EXPECT_EQ(ring.packets_lost(), 4u);  // 2 writes x 2 downstream nodes
+  EXPECT_EQ(p.fired(fault::FaultKind::kLinkDown), 2u);
+  EXPECT_EQ(p.fired(fault::FaultKind::kLinkUp), 2u);
+}
+
+TEST(FaultPlan, WrongSpeedNicStretchesSerialization) {
+  // A degraded NIC (factor > 1) holds the insertion engine longer, so the
+  // same write lands at the far node later than on a nominal ring.
+  auto delivered_at = [](double factor) {
+    sim::Simulation sim;
+    RingConfig cfg;
+    cfg.nodes = 4;
+    cfg.bank_words = 1024;
+    Ring ring(sim, cfg);
+    fault::FaultPlan p;
+    if (factor != 1.0) p.nic_speed(us(1), 0, factor);
+    EXPECT_TRUE(p.arm(sim, &ring).ok());
+    SimTime got = 0;
+    ring.set_interrupt(3, 10, 11, [&](u32) { got = sim.now(); });
+    sim.post_at(us(5), [&] {
+      const u32 words[64] = {7};
+      ring.host_write_block(0, 10, words, 0);
+    });
+    sim.run();
+    EXPECT_GT(got, 0);
+    return got;
+  };
+  const SimTime nominal = delivered_at(1.0);
+  const SimTime slowed = delivered_at(8.0);
+  EXPECT_GT(slowed, nominal);
+  EXPECT_EQ(delivered_at(8.0), slowed);  // and it is deterministic
+}
+
+TEST(FaultPlan, SwitchoverIsCountedOnRedundantRing) {
+  sim::Simulation sim;
+  RingConfig cfg;
+  cfg.nodes = 2;
+  cfg.bank_words = 256;
+  cfg.redundant_ring = true;
+  cfg.switchover = us(50);
+  Ring ring(sim, cfg);
+  fault::FaultPlan p;
+  p.link_down(us(5), 0);
+  ASSERT_TRUE(p.arm(sim, &ring).ok());
+  sim.post_at(us(10), [&] { ring.host_write(0, 10, 7); });
+  sim.run();
+  EXPECT_EQ(ring.switchovers(), 1u);
+  EXPECT_EQ(ring.packets_lost(), 0u);
+  EXPECT_EQ(ring.host_read(1, 10), 7u);  // delayed past switchover, not lost
+  EXPECT_EQ(p.fired(fault::FaultKind::kLinkDown), 1u);
+}
+
+TEST(FaultPlan, PauseAndCrashQueriesArePure) {
+  // Workload-level kinds are plain data: the queries answer without the
+  // plan being armed and are pure functions of (node, virtual time).
+  fault::FaultPlan p;
+  p.pause_node(2, us(10), us(20)).crash_node(us(50), 3);
+  EXPECT_TRUE(p.node_active(2, us(5)));
+  EXPECT_FALSE(p.node_active(2, us(15)));
+  EXPECT_EQ(p.paused_until(2, us(15)), us(20));
+  EXPECT_TRUE(p.node_active(2, us(20)));  // window is half-open
+  EXPECT_TRUE(p.node_active(3, us(49)));
+  EXPECT_FALSE(p.node_active(3, us(50)));
+  EXPECT_TRUE(p.crashed(3, us(60)));
+  EXPECT_FALSE(p.crashed(2, us(60)));
+}
+
+TEST(FaultPlan, FrameLossIsSeededAndOrderIndependent) {
+  // The drop verdict hashes (seed, src, dst, arrival): two runs of the
+  // same traffic see bit-identical loss.
+  auto run = [](u64 seed) {
+    sim::Simulation sim;
+    netmodels::EthernetFabric fab(sim, 2);
+    fault::FaultPlan p;
+    p.frame_loss(0, ms(10), 0.5, seed);
+    EXPECT_TRUE(p.arm(sim, nullptr, &fab).ok());
+    for (u32 i = 0; i < 40; ++i) {
+      sim.post_at(us(20) * i, [&fab, i] {
+        netmodels::Frame f;
+        f.src = 0;
+        f.dst = 1;
+        f.payload.assign(64, static_cast<u8>(i));
+        fab.transmit(std::move(f));
+      });
+    }
+    sim.run();
+    return std::pair<u64, u64>(fab.frames_dropped(), fab.frames_delivered());
+  };
+  const auto a = run(1);
+  const auto b = run(1);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.first, 0u);   // some frames dropped...
+  EXPECT_GT(a.second, 0u);  // ...and some survived, at prob 0.5 over 40
+  EXPECT_EQ(a.first + a.second, 40u);
+}
+
+TEST(FaultPlan, BbpTimesOutInsteadOfHanging) {
+  // The BbpStallsForeverWithoutRedundancy scenario again, but with a
+  // bounded wait configured: both sides come back with kTimedOut and the
+  // simulation drains normally instead of throwing DeadlockError.
+  sim::Simulation sim;
+  RingConfig cfg;
+  cfg.nodes = 2;
+  cfg.bank_words = 4096;
+  Ring ring(sim, cfg);
+  Status drain_st, recv_st;
+  sim.spawn("tx", [&](sim::Process& p) {
+    SimHostPort port(ring, 0, p);
+    bbp::Config c;
+    c.poll_timeout = us(500);
+    bbp::Endpoint ep(port, 2, 0, c);
+    p.delay(us(5));
+    ASSERT_TRUE(ring.fail_link(0).ok());
+    std::vector<u8> msg(16);
+    ASSERT_TRUE(ep.try_send(1, msg).ok());  // vanishes on the broken hop
+    drain_st = ep.drain();                  // ACK toggle never arrives
+  });
+  sim.spawn("rx", [&](sim::Process& p) {
+    SimHostPort port(ring, 1, p);
+    bbp::Config c;
+    c.recv_mode = bbp::RecvMode::kInterrupt;  // would park forever...
+    c.poll_timeout = us(500);                 // ...but the deadline polls
+    bbp::Endpoint ep(port, 2, 1, c);
+    std::vector<u8> buf(16);
+    recv_st = ep.recv(0, buf).status();
+  });
+  sim.run();  // completes: no fiber is parked forever
+  EXPECT_EQ(drain_st.code(), StatusCode::kTimedOut);
+  EXPECT_EQ(recv_st.code(), StatusCode::kTimedOut);
+  EXPECT_GE(ring.packets_lost(), 1u);
+}
+
+TEST(FaultPlan, HierarchyPortsHonorHostDials) {
+  // Host-level faults apply to the two-level ring hierarchy through the
+  // same PortDials mechanism as the flat ring (arm_hosts + set_dials).
+  auto finish_time = [](bool degraded) {
+    sim::Simulation sim;
+    HierarchyConfig hc;
+    hc.leaf_rings = 2;
+    hc.nodes_per_ring = 2;
+    hc.bank_words = 4096;
+    RingHierarchy h(sim, hc);
+    fault::FaultPlan p;
+    if (degraded) p.host_congestion(0, 1, 4.0).slow_node(0, 1, 4.0);
+    EXPECT_TRUE(p.arm_hosts(sim, h.nodes()).ok());
+    SimTime done = 0;
+    sim.spawn("writer", [&](sim::Process& pr) {
+      HierarchyPort port(h, 1, pr);
+      port.set_dials(p.dials(1));
+      pr.delay(us(1));  // let the dial events at t=0 take effect
+      for (u32 i = 0; i < 16; ++i) {
+        port.write_u32(100 + i, i + 1);
+        port.poll_pause();
+      }
+      done = pr.now();
+    });
+    sim.run();
+    // The writes crossed the bridge onto the other leaf ring.
+    EXPECT_EQ(h.host_read(3, 100), 1u);
+    EXPECT_GT(h.backbone_packets(), 0u);
+    return done;
+  };
+  const SimTime nominal = finish_time(false);
+  const SimTime degraded = finish_time(true);
+  EXPECT_GT(degraded, nominal);
+  EXPECT_EQ(finish_time(true), degraded);  // deterministic
 }
 
 }  // namespace
