@@ -33,10 +33,19 @@ double allreduce_us(bool scramnet, Mpi::AllreduceAlgo algo,
       if (mpi.rank(w) == 0 && i == warmup + iters - 1) t1 = p.now();
     }
   };
-  if (scramnet)
-    run_scramnet_mpi(nodes, body);
-  else
+  if (scramnet) {
+    // Pinned to the sequential kernel: the reduce tree makes ranks 1 and 3
+    // request the medium at the *same picosecond*, and equal-time
+    // arbitration order is an explicit contract boundary -- event order
+    // under jobs=1, node order under the sharded spine (both
+    // deterministic, not byte-equal). See docs/simulator.md "Parallel
+    // execution"; every other suite is byte-identical at any sim_jobs.
+    ScramnetOptions opts;
+    opts.sim_jobs = 1;
+    run_scramnet_mpi(nodes, body, opts);
+  } else {
     run_tcp_mpi(nodes, TcpFabricKind::kFastEthernet, body);
+  }
   return to_us(t1 - t0) / iters;
 }
 

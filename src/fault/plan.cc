@@ -171,6 +171,13 @@ Status FaultPlan::arm_impl(sim::Simulation& sim, scramnet::Ring* ring,
   if (Status st = validate(ring, fabric, nodes, hosts_only); !st.ok()) return st;
 
   dials_.assign(nodes, scramnet::PortDials{});
+  // On a partitioned ring, a node's dial block is read by its ports on the
+  // owning shard every transaction -- the flip event must execute there
+  // too. Ring faults stay wherever they are posted: the ring's fault API
+  // defers them onto the serialization spine itself when partitioned.
+  const auto dial_shard = [&](u32 node) -> u32 {
+    return (ring != nullptr && ring->partitioned()) ? ring->shard_of(node) : 0;
+  };
   for (const FaultEvent& e : events_) {
     switch (e.kind) {
       case FaultKind::kLinkDown:
@@ -192,13 +199,13 @@ Status FaultPlan::arm_impl(sim::Simulation& sim, scramnet::Ring* ring,
         });
         break;
       case FaultKind::kHostIo:
-        sim.post_at(e.at, [this, e] {
+        sim.post_at_shard(dial_shard(e.node), e.at, [this, e] {
           dials_[e.node].io = e.factor;
           fire(FaultKind::kHostIo);
         });
         break;
       case FaultKind::kHostCpu:
-        sim.post_at(e.at, [this, e] {
+        sim.post_at_shard(dial_shard(e.node), e.at, [this, e] {
           dials_[e.node].cpu = e.factor;
           fire(FaultKind::kHostCpu);
         });
@@ -283,7 +290,7 @@ netmodels::FaultHook::Verdict FaultPlan::on_frame(const netmodels::Frame& f,
 void FaultPlan::publish_counters(obs::Counters& c,
                                  std::string_view group) const {
   for (u32 k = 0; k < static_cast<u32>(FaultKind::kCount); ++k) {
-    c.add(group, kind_name(static_cast<FaultKind>(k)), fired_[k]);
+    c.add(group, kind_name(static_cast<FaultKind>(k)), fired_[k].get());
   }
 }
 

@@ -22,6 +22,7 @@
 // timeout Statuses; see docs/faults.md.
 #pragma once
 
+#include <atomic>
 #include <string_view>
 #include <vector>
 
@@ -168,11 +169,29 @@ class FaultPlan final : public netmodels::FaultHook {
   // -- observability -------------------------------------------------------
 
   /// Count of injections of `k` that have actually taken effect so far.
-  u64 fired(FaultKind k) const { return fired_[static_cast<u32>(k)]; }
+  u64 fired(FaultKind k) const { return fired_[static_cast<u32>(k)].get(); }
   /// Publish per-kind injection counts under `group`.
   void publish_counters(obs::Counters& c, std::string_view group = "fault") const;
 
  private:
+  /// Injection counter that tolerates concurrent shards: under sim_jobs > 1
+  /// two same-kind events may take effect on different shards in one
+  /// window (e.g. dial turns on two nodes). Relaxed ordering suffices --
+  /// counts are only read after the run. Copyable so FaultPlan stays the
+  /// plain value type sweep jobs copy around.
+  struct RelaxedCounter {
+    std::atomic<u64> v{0};
+    RelaxedCounter() = default;
+    RelaxedCounter(const RelaxedCounter& o)
+        : v(o.v.load(std::memory_order_relaxed)) {}
+    RelaxedCounter& operator=(const RelaxedCounter& o) {
+      v.store(o.v.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      return *this;
+    }
+    void inc() { v.fetch_add(1, std::memory_order_relaxed); }
+    u64 get() const { return v.load(std::memory_order_relaxed); }
+  };
+
   struct PauseWindow {
     u32 node = 0;
     SimTime from = 0, until = 0;
@@ -195,7 +214,7 @@ class FaultPlan final : public netmodels::FaultHook {
                   u32 nodes, bool hosts_only) const;
   Status arm_impl(sim::Simulation& sim, scramnet::Ring* ring,
                   netmodels::Fabric* fabric, u32 nodes, bool hosts_only);
-  void fire(FaultKind k) { ++fired_[static_cast<u32>(k)]; }
+  void fire(FaultKind k) { fired_[static_cast<u32>(k)].inc(); }
 
   std::vector<FaultEvent> events_;
   std::vector<PauseWindow> pauses_;
@@ -203,7 +222,7 @@ class FaultPlan final : public netmodels::FaultHook {
   std::vector<LossWindow> loss_;
   std::vector<CongestionWindow> congestion_;
   std::vector<scramnet::PortDials> dials_;  // sized at arm; ports point here
-  u64 fired_[static_cast<u32>(FaultKind::kCount)] = {};
+  RelaxedCounter fired_[static_cast<u32>(FaultKind::kCount)];
   bool armed_ = false;
 };
 

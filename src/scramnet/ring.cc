@@ -1,5 +1,6 @@
 #include "scramnet/ring.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <string>
@@ -16,17 +17,42 @@ Ring::Ring(sim::Simulation& sim, RingConfig cfg) : sim_(sim), cfg_(cfg) {
   irq_.resize(cfg_.nodes);
   link_failed_.assign(cfg_.nodes, false);
   speed_factor_.assign(cfg_.nodes, 1.0);
+  irq_fired_.assign(cfg_.nodes, 0);
+}
+
+void Ring::set_partition(std::vector<u32> shard_of_node) {
+  if (shard_of_node.size() != cfg_.nodes)
+    throw std::invalid_argument("ring: partition size != node count");
+  for (u32 s : shard_of_node) {
+    if (s >= sim_.jobs())
+      throw std::invalid_argument("ring: partition names shard " +
+                                  std::to_string(s) + " beyond sim jobs");
+  }
+  const bool first = shard_of_.empty();
+  shard_of_ = std::move(shard_of_node);
+  lanes_ = std::vector<Lane>(sim_.jobs());
+  if (first) sim_.add_barrier_hook([this](SimTime) { on_barrier(); });
+}
+
+void Ring::apply_fail(u32 node, SimTime t) {
+  link_failed_[node] = true;
+  if (cfg_.redundant_ring) {
+    switchovers_.inc();
+    recover_at_ = std::max(recover_at_, t + cfg_.switchover);
+  }
 }
 
 Status Ring::fail_link(u32 node) {
   if (node >= cfg_.nodes)
     return Status::InvalidArg("ring: fail_link on nonexistent link " +
                               std::to_string(node));
-  link_failed_[node] = true;
-  if (cfg_.redundant_ring) {
-    switchovers_.inc();
-    recover_at_ = std::max(recover_at_, sim_.now() + cfg_.switchover);
+  if (deferred()) [[unlikely]] {
+    lanes_[sim_.current_shard()].ops.push_back(
+        SpineOp{sim_.now(), node, SpineOp::Kind::kLinkDown});
+    sim_.note_horizon(sim_.now());
+    return Status::Ok();
   }
+  apply_fail(node, sim_.now());
   return Status::Ok();
 }
 
@@ -34,6 +60,12 @@ Status Ring::heal_link(u32 node) {
   if (node >= cfg_.nodes)
     return Status::InvalidArg("ring: heal_link on nonexistent link " +
                               std::to_string(node));
+  if (deferred()) [[unlikely]] {
+    lanes_[sim_.current_shard()].ops.push_back(
+        SpineOp{sim_.now(), node, SpineOp::Kind::kLinkUp});
+    sim_.note_horizon(sim_.now());
+    return Status::Ok();
+  }
   link_failed_[node] = false;
   return Status::Ok();
 }
@@ -44,11 +76,19 @@ Status Ring::set_node_speed_factor(u32 node, double factor) {
                               std::to_string(node));
   if (!(factor > 0.0))
     return Status::InvalidArg("ring: speed factor must be positive");
+  if (deferred()) [[unlikely]] {
+    SpineOp op{sim_.now(), node, SpineOp::Kind::kSpeed};
+    op.factor = factor;
+    lanes_[sim_.current_shard()].ops.push_back(op);
+    sim_.note_horizon(sim_.now());
+    return Status::Ok();
+  }
   speed_factor_[node] = factor;
   return Status::Ok();
 }
 
-SimTime Ring::inject_packet(u32 src, u32 word_addr, std::span<const u32> words, SimTime ready_at) {
+SimTime Ring::inject_packet(u32 src, u32 word_addr, std::span<const u32> words,
+                            SimTime ready_at, SimTime issue_t) {
   const u32 payload = static_cast<u32>(words.size()) * 4u;
   // A wrong-speed NIC serializes slower, holding both its insertion engine
   // and the shared medium longer (register insertion: the ring waits on the
@@ -60,7 +100,10 @@ SimTime Ring::inject_packet(u32 src, u32 word_addr, std::span<const u32> words, 
   ring_free_ = done;
   packets_.inc();
   words_.inc(words.size());
-  TRACE_INSTANT(obs::Layer::kRing, src, "ring.inject", sim_);
+  // Explicit timestamp: when this runs at a window barrier the write's own
+  // time is `issue_t`, not the coordinator's clock.
+  if (obs::Tracer::enabled())
+    obs::Tracer::current().instant(obs::Layer::kRing, src, "ring.inject", issue_t);
 
   // The packet visits each downstream node after k hop latencies past
   // serialization. Link state is sampled here, at injection, exactly as the
@@ -95,8 +138,18 @@ SimTime Ring::inject_packet(u32 src, u32 word_addr, std::span<const u32> words, 
   } else {
     w->big_words.assign(words.begin(), words.end());
   }
-  sim_.post_at(hop_time(*w, 1), [this, w] { walk_hop(w); });
+  post_first_hop(w);
   return done;
+}
+
+void Ring::post_first_hop(Walk* w) {
+  const SimTime t = hop_time(*w, 1);
+  if (partitioned()) [[unlikely]] {
+    sim_.post_at_shard(shard_of_[(w->src + 1) % cfg_.nodes], t,
+                       [this, w] { walk_hop(w); });
+    return;
+  }
+  sim_.post_at(t, [this, w] { walk_hop(w); });
 }
 
 SimTime Ring::hop_time(const Walk& w, u32 k) const {
@@ -110,10 +163,25 @@ void Ring::walk_hop(Walk* w) {
   deliver(dst, w->word_addr, w->data(), w->nwords);
   if (w->k < w->last_hop) {
     ++w->k;
-    sim_.post_at(hop_time(*w, w->k), [this, w] { walk_hop(w); });
-  } else {
-    release_walk(w);
+    const SimTime t = hop_time(*w, w->k);
+    if (partitioned()) [[unlikely]] {
+      // Next hop executes on the downstream node's shard. Each hop is a
+      // full hop_latency (== the configured lookahead) in the future, so a
+      // cross-shard hop always clears the current window barrier.
+      sim_.post_at_shard(shard_of_[(w->src + w->k) % cfg_.nodes], t,
+                         [this, w] { walk_hop(w); });
+    } else {
+      sim_.post_at(t, [this, w] { walk_hop(w); });
+    }
+    return;
   }
+  if (deferred()) [[unlikely]] {
+    // The freelist belongs to the injection spine (coordinator); park the
+    // walk on this shard's lane until the barrier reclaims it.
+    lanes_[sim_.current_shard()].released.push_back(w);
+    return;
+  }
+  release_walk(w);
 }
 
 Ring::Walk* Ring::acquire_walk() {
@@ -140,7 +208,7 @@ void Ring::deliver(u32 dst, u32 word_addr, const u32* words, u32 nwords) {
   if (r.handler) {
     const u32 end = word_addr + nwords;
     if (word_addr < r.hi && end > r.lo) {
-      irqs_.inc();
+      ++irq_fired_[dst];  // per-node cell: only dst's shard ever delivers here
       r.handler(word_addr);
     }
   }
@@ -148,8 +216,19 @@ void Ring::deliver(u32 dst, u32 word_addr, const u32* words, u32 nwords) {
 
 void Ring::host_write(u32 node, u32 word_addr, u32 value) {
   assert(node < cfg_.nodes && word_addr < cfg_.bank_words);
-  banks_[node][word_addr] = value;
-  inject_packet(node, word_addr, std::span<const u32>(&value, 1), sim_.now());
+  banks_[node][word_addr] = value;  // local copy is immediate in any mode
+  if (deferred()) [[unlikely]] {
+    Lane& lane = lanes_[sim_.current_shard()];
+    SpineOp op{sim_.now(), node, SpineOp::Kind::kWrite};
+    op.word_addr = word_addr;
+    op.nwords = 1;
+    op.payload_off = lane.payload.size();
+    lane.payload.push_back(value);
+    lane.ops.push_back(op);
+    sim_.note_horizon(op.t);
+    return;
+  }
+  inject_packet(node, word_addr, std::span<const u32>(&value, 1), sim_.now(), sim_.now());
 }
 
 void Ring::host_write_block(u32 node, u32 word_addr, std::span<const u32> words,
@@ -165,19 +244,97 @@ void Ring::host_write_block(u32 node, u32 word_addr, std::span<const u32> words,
   // arrival; per-sender FIFO ordering is still enforced by the insertion
   // engine (tx_free_), and delivery of a chunk always trails the host's
   // write of that chunk because occupancy >= the chunk's pacing span.
-  const u32 chunk_words =
-      cfg_.mode == PacketMode::kFixed4 ? 1u : cfg_.max_var_packet_bytes / 4u;
   auto& bank = banks_[node];
   // The whole burst lands in the local bank within this synchronous call
   // (no event can interleave), so write it in one pass instead of building
   // a chunk vector per packet -- in kFixed4 mode that used to mean one
   // 1-word vector per word written.
   for (usize i = 0; i < words.size(); ++i) bank[word_addr + i] = words[i];
+  if (deferred()) [[unlikely]] {
+    // One record for the whole burst; the barrier replay re-runs the
+    // chunking loop below with ready times anchored at this op's time.
+    Lane& lane = lanes_[sim_.current_shard()];
+    SpineOp op{sim_.now(), node, SpineOp::Kind::kWrite};
+    op.word_addr = word_addr;
+    op.nwords = static_cast<u32>(words.size());
+    op.payload_off = lane.payload.size();
+    op.word_period = word_period;
+    lane.payload.insert(lane.payload.end(), words.begin(), words.end());
+    lane.ops.push_back(op);
+    sim_.note_horizon(op.t);
+    return;
+  }
+  const u32 chunk_words =
+      cfg_.mode == PacketMode::kFixed4 ? 1u : cfg_.max_var_packet_bytes / 4u;
   usize off = 0;
   while (off < words.size()) {
     const usize n = std::min<usize>(chunk_words, words.size() - off);
     const SimTime ready = sim_.now() + static_cast<SimTime>(off) * word_period;
-    inject_packet(node, word_addr + static_cast<u32>(off), words.subspan(off, n), ready);
+    inject_packet(node, word_addr + static_cast<u32>(off), words.subspan(off, n), ready,
+                  sim_.now());
+    off += n;
+  }
+}
+
+void Ring::on_barrier() {
+  // Reclaim walks that finished on worker shards during the window (the
+  // freelist is spine state; shards may not touch it mid-window).
+  for (Lane& lane : lanes_) {
+    for (Walk* w : lane.released) release_walk(w);
+    lane.released.clear();
+  }
+  bool any = false;
+  for (const Lane& lane : lanes_)
+    if (!lane.ops.empty()) any = true;
+  if (!any) return;
+  // Merge the per-shard operation streams into one deterministic order.
+  // Each lane is already time-sorted (its shard executed in time order);
+  // the sort key adds (node, kind) so the merged order is independent of
+  // how nodes were partitioned: a node's writes all come from one lane
+  // (stable within it), and fault flips -- recorded wherever the fault
+  // plan's events run -- tie-break against writes by kind alone.
+  spine_merge_.clear();
+  for (const Lane& lane : lanes_)
+    for (const SpineOp& op : lane.ops) spine_merge_.push_back(MergeRef{&op, &lane});
+  std::stable_sort(spine_merge_.begin(), spine_merge_.end(),
+                   [](const MergeRef& a, const MergeRef& b) {
+                     if (a.op->t != b.op->t) return a.op->t < b.op->t;
+                     if (a.op->node != b.op->node) return a.op->node < b.op->node;
+                     return static_cast<u8>(a.op->kind) < static_cast<u8>(b.op->kind);
+                   });
+  for (const MergeRef& m : spine_merge_)
+    replay_op(*m.op, m.lane->payload.data() + m.op->payload_off);
+  spine_merge_.clear();
+  for (Lane& lane : lanes_) {
+    lane.ops.clear();
+    lane.payload.clear();
+  }
+}
+
+void Ring::replay_op(const SpineOp& op, const u32* payload) {
+  switch (op.kind) {
+    case SpineOp::Kind::kLinkDown:
+      apply_fail(op.node, op.t);
+      return;
+    case SpineOp::Kind::kLinkUp:
+      link_failed_[op.node] = false;
+      return;
+    case SpineOp::Kind::kSpeed:
+      speed_factor_[op.node] = op.factor;
+      return;
+    case SpineOp::Kind::kWrite:
+      break;
+  }
+  // The bank was already written on the owning shard; re-run only the
+  // injection side, with the same chunking and pacing as the direct path.
+  const u32 chunk_words =
+      cfg_.mode == PacketMode::kFixed4 ? 1u : cfg_.max_var_packet_bytes / 4u;
+  u32 off = 0;
+  while (off < op.nwords) {
+    const u32 n = std::min(chunk_words, op.nwords - off);
+    const SimTime ready = op.t + static_cast<SimTime>(off) * op.word_period;
+    inject_packet(op.node, op.word_addr + off, std::span<const u32>(payload + off, n),
+                  ready, op.t);
     off += n;
   }
 }

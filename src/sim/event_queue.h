@@ -134,9 +134,17 @@ class EventQueue {
       return true;
     }
     if (!prime()) return false;
-    std::pop_heap(active_.begin(), active_.end(), EntryAfter{});
-    const Entry e = active_.back();
-    active_.pop_back();
+    Entry e;
+    if (active_.size() == 1) {
+      // Single-entry heap (the normal case with ~16 ns buckets): take it
+      // without the pop_heap shuffle.
+      e = active_.front();
+      active_.clear();
+    } else {
+      std::pop_heap(active_.begin(), active_.end(), EntryAfter{});
+      e = active_.back();
+      active_.pop_back();
+    }
     --calendar_live_;
     ++executed_;
     *out = Popped{e.t, e.node, e.node->invoke};
@@ -332,7 +340,24 @@ class EventQueue {
   /// Move overflow events now inside the window into their buckets.
   void migrate_overflow() {
     const SimTime horizon = win_start_ + kSpan;
+    // A handful of migrants (the typical window advance) is cheapest via
+    // pop_heap; a bulk migration is cheaper as one partition pass plus a
+    // re-heapify of whatever stays behind. Buckets sort on drain, so the
+    // pop order of the migrated span doesn't matter here.
+    u32 popped = 0;
     while (!overflow_.empty() && overflow_.front().t < horizon) {
+      if (++popped > 8) {
+        auto stay = std::partition(
+            overflow_.begin(), overflow_.end(),
+            [horizon](const Entry& e) { return e.t >= horizon; });
+        for (auto it = stay; it != overflow_.end(); ++it) {
+          bucket_put(
+              static_cast<u32>(static_cast<u64>(it->t - win_start_) >> kBucketShift), *it);
+        }
+        overflow_.erase(stay, overflow_.end());
+        std::make_heap(overflow_.begin(), overflow_.end(), EntryAfter{});
+        return;
+      }
       std::pop_heap(overflow_.begin(), overflow_.end(), EntryAfter{});
       const Entry e = overflow_.back();
       overflow_.pop_back();

@@ -1,0 +1,261 @@
+// Conservative parallel DES: the sim_jobs > 1 sharded kernel must be
+// observably identical to the jobs=1 sequential reference -- same virtual
+// timestamps, same deterministic cross-shard merge order, fault events on
+// the right shard, and clean fiber unwinding however many shards are live
+// at teardown. See docs/simulator.md "Parallel execution".
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "fault/plan.h"
+#include "harness/cluster.h"
+#include "sim/simulation.h"
+
+namespace scrnet {
+namespace {
+
+using harness::ScramnetOptions;
+using sim::SimConfig;
+using sim::Simulation;
+
+// -- jobs resolution --------------------------------------------------------
+
+TEST(SimParallel, JobsResolution) {
+  {
+    Simulation sim(SimConfig{.sim_jobs = 3});
+    EXPECT_EQ(sim.jobs(), 3u);
+  }
+  ::setenv("SCRNET_SIM_JOBS", "5", 1);
+  {
+    Simulation env_sim;  // sim_jobs = 0: take the environment
+    EXPECT_EQ(env_sim.jobs(), 5u);
+    Simulation explicit_sim(SimConfig{.sim_jobs = 1});  // explicit beats env
+    EXPECT_EQ(explicit_sim.jobs(), 1u);
+  }
+  ::unsetenv("SCRNET_SIM_JOBS");
+  Simulation def;
+  EXPECT_EQ(def.jobs(), 1u);
+}
+
+// -- bit-exact virtual time across shard counts -----------------------------
+
+/// 8-rank BBP neighbor ping-pong; returns every rank's finish time plus the
+/// run's final time, the full observable timestamp surface of the run.
+/// `stagger` offsets each rank's start so no two nodes ever request the
+/// shared medium at the same picosecond (see TieArbitration below for why
+/// that distinction is the contract boundary).
+std::vector<SimTime> bbp_ring_times(u32 sim_jobs, bool stagger) {
+  constexpr u32 kNodes = 8;
+  std::vector<SimTime> done(kNodes, 0);
+  ScramnetOptions opts;
+  opts.sim_jobs = sim_jobs;
+  const SimTime end = harness::run_scramnet_bbp(
+      kNodes,
+      [&](sim::Process& p, bbp::Endpoint& ep) {
+        const u32 me = ep.rank();
+        const u32 right = (me + 1) % kNodes;
+        const u32 left = (me + kNodes - 1) % kNodes;
+        if (stagger) p.delay(ns(73) * (me + 1));
+        std::vector<u8> msg(96, static_cast<u8>(me));
+        std::vector<u8> buf(96);
+        for (u32 i = 0; i < 20; ++i) {
+          ASSERT_TRUE(ep.send(right, msg).ok());
+          auto r = ep.recv(left, buf);
+          ASSERT_TRUE(r.ok());
+          EXPECT_EQ(buf[0], static_cast<u8>(left));
+        }
+        done[me] = p.now();
+      },
+      opts);
+  done.push_back(end);
+  return done;
+}
+
+TEST(SimParallel, BbpTimesBitExactAcrossJobs) {
+  const std::vector<SimTime> ref = bbp_ring_times(1, /*stagger=*/true);
+  for (u32 jobs : {2u, 4u, 8u}) {
+    EXPECT_EQ(bbp_ring_times(jobs, /*stagger=*/true), ref) << "sim_jobs=" << jobs;
+  }
+}
+
+TEST(SimParallel, TieArbitrationDeterministicAcrossShardCounts) {
+  // The fully symmetric ping-pong makes every rank request the medium at
+  // identical picoseconds. Equal-time arbitration is the documented
+  // contract boundary: event order under jobs=1, node order under the
+  // sharded spine -- so jobs=1 may permute per-rank times, but every
+  // sharded run must agree bit-exactly with every other regardless of how
+  // many shards the nodes are partitioned over.
+  const std::vector<SimTime> ref = bbp_ring_times(2, /*stagger=*/false);
+  for (u32 jobs : {4u, 8u}) {
+    EXPECT_EQ(bbp_ring_times(jobs, /*stagger=*/false), ref) << "sim_jobs=" << jobs;
+  }
+  // Total ordering differs at most in same-instant swaps: the run's final
+  // virtual time is tie-order invariant.
+  EXPECT_EQ(bbp_ring_times(1, /*stagger=*/false).back(), ref.back());
+}
+
+std::vector<SimTime> mpi_exchange_times(u32 sim_jobs) {
+  constexpr u32 kNodes = 8;
+  std::vector<SimTime> done(kNodes, 0);
+  ScramnetOptions opts;
+  opts.sim_jobs = sim_jobs;
+  const SimTime end = harness::run_scramnet_mpi(
+      kNodes,
+      [&](sim::Process& p, scrmpi::Mpi& mpi) {
+        const scrmpi::Comm& w = mpi.world();
+        const int me = mpi.rank(w);
+        const int peer = me ^ 1;  // pairwise partners straddle shard cuts
+        for (int i = 0; i < 10; ++i) {
+          int mine = me * 100 + i, theirs = -1;
+          mpi.sendrecv(&mine, 1, scrmpi::Datatype::kInt32, peer, 0, &theirs, 1,
+                       scrmpi::Datatype::kInt32, peer, 0, w);
+          EXPECT_EQ(theirs, peer * 100 + i);
+        }
+        done[static_cast<u32>(me)] = p.now();
+      },
+      opts);
+  done.push_back(end);
+  return done;
+}
+
+TEST(SimParallel, MpiTimesBitExactAcrossJobs) {
+  const std::vector<SimTime> ref = mpi_exchange_times(1);
+  for (u32 jobs : {2u, 4u, 8u}) {
+    EXPECT_EQ(mpi_exchange_times(jobs), ref) << "sim_jobs=" << jobs;
+  }
+}
+
+// -- deterministic cross-shard merge order ----------------------------------
+
+/// Every shard fires same-timestamp events into shard 0 through the outbox
+/// merge. The contract: merged ties order by (timestamp, source shard, send
+/// order) -- so the arrival log must come out identical on every run and
+/// every window schedule.
+std::vector<int> cross_shard_log(u32 jobs) {
+  Simulation sim(SimConfig{.sim_jobs = jobs});
+  sim.set_lookahead(ns(100));
+  std::vector<int> log;
+  for (u32 s = 0; s < jobs; ++s) {
+    sim.spawn_on(s, "pinger" + std::to_string(s), [&, s, jobs](sim::Process& p) {
+      for (int burst = 1; burst <= 4; ++burst) {
+        p.delay(ns(250));  // every shard sends at the same virtual instant
+        const SimTime at = p.now() + ns(400);
+        for (int k = 0; k < 3; ++k) {
+          const int tag = static_cast<int>(s) * 100 + burst * 10 + k;
+          p.simulation().post_at_shard(0, at, [&log, tag] { log.push_back(tag); });
+        }
+      }
+      (void)jobs;
+    });
+  }
+  sim.run();
+  return log;
+}
+
+TEST(SimParallel, CrossShardMergeOrderDeterministic) {
+  const std::vector<int> once = cross_shard_log(4);
+  ASSERT_EQ(once.size(), 4u * 4u * 3u);
+  // Same-timestamp ties resolve by source shard then send order: each burst
+  // must appear as shard 0's three sends, then shard 1's, ...
+  for (int burst = 1; burst <= 4; ++burst) {
+    std::vector<int> expect;
+    for (int s = 0; s < 4; ++s)
+      for (int k = 0; k < 3; ++k) expect.push_back(s * 100 + burst * 10 + k);
+    const auto begin = once.begin() + (burst - 1) * 12;
+    EXPECT_EQ(std::vector<int>(begin, begin + 12), expect) << "burst " << burst;
+  }
+  EXPECT_EQ(cross_shard_log(4), once);  // repeatable, not just plausible
+}
+
+// -- fault events land on the owning shard ----------------------------------
+
+TEST(SimParallel, FaultDialFlipsOnOwningShard) {
+  // A host-I/O dial on the last node must take effect on that node's shard
+  // (its port reads the dial block on every transaction there). The
+  // observable: the fault stretches rank 7's costs identically at jobs=1
+  // and jobs=4, and the plan records exactly one injection either way.
+  auto run = [](u32 sim_jobs) {
+    constexpr u32 kNodes = 8;
+    fault::FaultPlan plan;
+    plan.host_congestion(us(30), kNodes - 1, 4.0);
+    ScramnetOptions opts;
+    opts.sim_jobs = sim_jobs;
+    opts.faults = &plan;
+    std::vector<SimTime> done(kNodes, 0);
+    harness::run_scramnet_bbp(
+        kNodes,
+        [&](sim::Process& p, bbp::Endpoint& ep) {
+          const u32 me = ep.rank();
+          std::vector<u8> msg(64, 7), buf(64);
+          if (me == kNodes - 1) {
+            for (int i = 0; i < 30; ++i) ASSERT_TRUE(ep.send(0, msg).ok());
+          } else if (me == 0) {
+            for (int i = 0; i < 30; ++i) ASSERT_TRUE(ep.recv(kNodes - 1, buf).ok());
+          }
+          done[me] = p.now();
+        },
+        opts);
+    EXPECT_EQ(plan.fired(fault::FaultKind::kHostIo), 1u);
+    return done;
+  };
+  const auto ref = run(1);
+  EXPECT_EQ(run(4), ref);
+  EXPECT_GT(ref[7], us(30));  // the dialed rank really ran past the flip
+}
+
+// -- teardown with shards mid-flight ----------------------------------------
+
+TEST(SimParallel, TeardownUnwindsFibersOnAllShards) {
+  // Destroy the simulation while every shard still has parked/running
+  // processes; each fiber must unwind (destructors run) with no leaks or
+  // deadlocks. `unwound` counts destructor executions on process stacks.
+  int unwound = 0;
+  struct OnUnwind {
+    int* n;
+    ~OnUnwind() { ++*n; }
+  };
+  {
+    Simulation sim(SimConfig{.sim_jobs = 4});
+    sim.set_lookahead(ns(100));
+    for (u32 s = 0; s < 4; ++s) {
+      sim.spawn_on(s, "sleeper" + std::to_string(s), [&unwound](sim::Process& p) {
+        OnUnwind guard{&unwound};
+        for (;;) p.delay(us(1));  // never finishes on its own
+      });
+    }
+    EXPECT_TRUE(sim.run_until(us(5)));  // all shards mid-flight
+    EXPECT_EQ(sim.now(), us(5));
+  }
+  EXPECT_EQ(unwound, 4);
+}
+
+// -- run_until composes with sharding ---------------------------------------
+
+TEST(SimParallel, RunUntilStopsAtBoundaryOnEveryShard) {
+  auto run = [](u32 jobs) {
+    Simulation sim(SimConfig{.sim_jobs = jobs});
+    sim.set_lookahead(ns(100));
+    std::vector<u64> ticks(jobs, 0);
+    for (u32 s = 0; s < jobs; ++s) {
+      sim.spawn_on(s, "ticker" + std::to_string(s), [&, s](sim::Process& p) {
+        for (int i = 0; i < 1000; ++i) {
+          p.delay(ns(500));
+          ++ticks[s];
+        }
+      });
+    }
+    const bool more = sim.run_until(us(100));
+    EXPECT_TRUE(more);
+    return ticks;
+  };
+  const auto ref = run(1);  // all work on the home shard
+  EXPECT_EQ(ref[0], 200u);  // 100 us / 500 ns
+  const auto sharded = run(4);
+  for (u32 s = 0; s < 4; ++s) EXPECT_EQ(sharded[s], 200u) << "shard " << s;
+}
+
+}  // namespace
+}  // namespace scrnet
