@@ -6,6 +6,7 @@
 #include "bbp/endpoint.h"
 #include "common/bytes.h"
 #include "harness/benchops.h"
+#include "netmodels/rdma.h"
 #include "scramnet/ring.h"
 #include "scramnet/sim_port.h"
 #include "scramnet/thread_backend.h"
@@ -293,6 +294,71 @@ void BM_BbpPingPongThreads(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(msgs), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_BbpPingPongThreads)->Arg(4)->Arg(1024);
+
+/// Full MPI stack over the simulated ring with the zero-copy rendezvous
+/// path forced on (billboard window + low eager cap): the wall-clock cost
+/// of reproducing the large-message figures. Arg = payload bytes; 256
+/// stays under the cap (eager control), 16384 rides RTS -> CTS(placement)
+/// -> ring put -> FIN with no channel-packet copy.
+void BM_RendezvousPingPong(benchmark::State& state) {
+  const u32 bytes = static_cast<u32>(state.range(0));
+  u64 msgs = 0;
+  harness::ScramnetOptions opts;
+  opts.ring.bank_words = 1u << 18;
+  opts.bbp.rndv_window_bytes = 64 * 1024;
+  opts.mpi.eager_cap = 256;
+  for (auto _ : state) {
+    constexpr int kIters = 20;
+    harness::run_scramnet_mpi(
+        2,
+        [&](sim::Process&, scrmpi::Mpi& mpi) {
+          const scrmpi::Comm& w = mpi.world();
+          std::vector<u8> msg(bytes), buf(bytes);
+          if (mpi.rank(w) == 0) {
+            for (int i = 0; i < kIters; ++i) {
+              (void)mpi.send(msg.data(), bytes, scrmpi::Datatype::kByte, 1, 0, w);
+              (void)mpi.recv(buf.data(), bytes, scrmpi::Datatype::kByte, 1, 0, w);
+            }
+          } else {
+            for (int i = 0; i < kIters; ++i) {
+              (void)mpi.recv(buf.data(), bytes, scrmpi::Datatype::kByte, 0, 0, w);
+              (void)mpi.send(msg.data(), bytes, scrmpi::Datatype::kByte, 0, 0, w);
+            }
+          }
+        },
+        opts);
+    msgs += 2 * kIters;
+  }
+  state.counters["msgs/s"] =
+      benchmark::Counter(static_cast<double>(msgs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RendezvousPingPong)->Arg(256)->Arg(16384);
+
+/// RDMA NIC model put throughput at the fabric level: one registered
+/// region, back-to-back puts (chunked at the MTU), each awaited on its
+/// CQE the way ch_rdma's bounded wait does. Arg = bytes per put.
+void BM_RdmaPut(benchmark::State& state) {
+  const u32 bytes = static_cast<u32>(state.range(0));
+  u64 total = 0;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    netmodels::RdmaFabric fab(sim, 2);
+    std::vector<u8> dst(bytes), src(bytes, 0x5A);
+    const u32 rkey = fab.register_region(1, dst);
+    constexpr int kPuts = 50;
+    sim.spawn("initiator", [&](sim::Process& p) {
+      for (int i = 0; i < kPuts; ++i) {
+        fab.rdma_put(0, rkey, 0, src, static_cast<u64>(i));
+        while (!fab.cq(0).try_pop().has_value()) p.delay(us(1));
+      }
+    });
+    sim.run();
+    total += static_cast<u64>(kPuts) * bytes;
+  }
+  state.counters["bytes/s"] =
+      benchmark::Counter(static_cast<double>(total), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RdmaPut)->Arg(4096)->Arg(65536);
 
 /// Figure-style latency sweep through sweep::Runner at 1..N workers: the
 /// wall-clock win the parallel sweep engine buys on this machine. Arg is

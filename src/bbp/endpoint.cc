@@ -26,7 +26,11 @@ inline bool seq_less(u32 a, u32 b) { return static_cast<i32>(a - b) < 0; }
 }  // namespace
 
 Endpoint::Endpoint(scramnet::MemPort& port, u32 procs, u32 me, Config cfg)
-    : port_(port), layout_(port.bank_words(), procs, cfg.slots), cfg_(cfg), me_(me) {
+    : port_(port),
+      layout_(port.bank_words(), procs, cfg.slots,
+              words_for_bytes(cfg.rndv_window_bytes)),
+      cfg_(cfg),
+      me_(me) {
   if (me >= procs) throw std::invalid_argument("bbp: rank out of range");
   slot_.resize(cfg_.slots);
   sent_flag_mirror_.assign(procs, 0);
@@ -406,6 +410,83 @@ u32 Endpoint::inflight() const {
 }
 
 // ---------------------------------------------------------------------------
+// Zero-copy rendezvous window
+// ---------------------------------------------------------------------------
+
+Result<u32> Endpoint::rndv_reserve(u32 bytes) {
+  if (layout_.rndv_words == 0)
+    return Status::Unavailable("bbp: no rendezvous window configured");
+  const u32 words = words_for_bytes(bytes);
+  if (words == 0 || words > layout_.rndv_words) {
+    ++stats_.rndv_rejects;
+    return Status::NoSpace("bbp: reservation exceeds rendezvous window");
+  }
+  // First fit over the gaps between live extents (rndv_live_ is sorted).
+  const u32 base = layout_.rndv_base(me_);
+  const u32 end = base + layout_.rndv_words;
+  u32 cursor = base;
+  auto it = rndv_live_.begin();
+  for (; it != rndv_live_.end(); ++it) {
+    if (it->off_words - cursor >= words) break;
+    cursor = it->off_words + it->words;
+  }
+  if (it == rndv_live_.end() && end - cursor < words) {
+    ++stats_.rndv_rejects;
+    return Status::NoSpace("bbp: rendezvous window full");
+  }
+  rndv_live_.insert(it, RndvExtent{cursor, words});
+  ++stats_.rndv_reserves;
+  return cursor;
+}
+
+void Endpoint::rndv_release(u32 addr_words, u32 bytes) {
+  const u32 words = words_for_bytes(bytes);
+  for (auto it = rndv_live_.begin(); it != rndv_live_.end(); ++it) {
+    if (it->off_words == addr_words && it->words == words) {
+      rndv_live_.erase(it);
+      return;
+    }
+  }
+}
+
+Status Endpoint::rndv_put(u32 addr_words, std::span<const u8> payload) {
+  TRACE_SPAN(obs::Layer::kBbp, me_, "bbp.rndv_put", port_);
+  if (payload.empty()) return Status::Ok();
+  // Straight from the user buffer onto the ring: no slot, no descriptor,
+  // no staging copy. The alloc/bookkeeping cost of the slot path is gone;
+  // only the send setup (address arithmetic) remains.
+  port_.cpu_delay(cfg_.cpu.send_setup);
+  const std::vector<u32> words = pack_words(payload);
+  if (payload.size() >= cfg_.dma_threshold_bytes && port_.has_dma()) {
+    port_.dma_write(addr_words, words);
+    ++stats_.dma_sends;
+  } else {
+    port_.write_block(addr_words, words);
+  }
+  ++stats_.rndv_puts;
+  stats_.rndv_put_bytes += payload.size();
+  return Status::Ok();
+}
+
+Status Endpoint::rndv_read(u32 addr_words, std::span<u8> buf, u32 len) {
+  TRACE_SPAN(obs::Layer::kBbp, me_, "bbp.rndv_read", port_);
+  const u32 n = static_cast<u32>(std::min<usize>(len, buf.size()));
+  if (n > 0) {
+    std::vector<u32> words(words_for_bytes(n));
+    port_.read_block(addr_words, words);
+    unpack_into(words, buf, n);
+  }
+  port_.cpu_delay(cfg_.cpu.recv_deliver);
+  return Status::Ok();
+}
+
+u32 Endpoint::rndv_reserved_bytes() const {
+  u32 words = 0;
+  for (const RndvExtent& e : rndv_live_) words += e.words;
+  return words * 4;
+}
+
+// ---------------------------------------------------------------------------
 // Observability / test hooks
 // ---------------------------------------------------------------------------
 
@@ -419,6 +500,10 @@ void Endpoint::publish_counters(obs::Counters& c, std::string_view group) const 
   c.add(group, "send_stalls", stats_.send_stalls);
   c.add(group, "dma_sends", stats_.dma_sends);
   c.add(group, "timeouts", stats_.timeouts);
+  c.add(group, "rndv_reserves", stats_.rndv_reserves);
+  c.add(group, "rndv_rejects", stats_.rndv_rejects);
+  c.add(group, "rndv_puts", stats_.rndv_puts);
+  c.add(group, "rndv_put_bytes", stats_.rndv_put_bytes);
 }
 
 void Endpoint::corrupt_for_test(Corrupt what) {

@@ -79,6 +79,11 @@ struct Config {
   // by polling, even in kInterrupt mode (an interrupt sleep has no
   // wake-up when the awaited write was lost on the ring).
   SimTime poll_timeout = 0;
+  // Zero-copy rendezvous window carved from the top of this process's
+  // region (see Layout::rndv_base). 0 (the default) keeps the layout
+  // exactly as the paper describes; nonzero shrinks the circular data
+  // partition by this many bytes and enables rndv_reserve/rndv_put.
+  u32 rndv_window_bytes = 0;
   CpuCosts cpu;
 };
 
@@ -101,6 +106,10 @@ struct EndpointStats {
   u64 send_stalls = 0;  // times send had to wait for space/slots
   u64 dma_sends = 0;    // payloads that went out via the DMA engine
   u64 timeouts = 0;     // blocking calls that gave up at poll_timeout
+  u64 rndv_reserves = 0;   // rendezvous window reservations granted
+  u64 rndv_rejects = 0;    // reservations refused (window full / too big)
+  u64 rndv_puts = 0;       // remote-writes into a peer's window
+  u64 rndv_put_bytes = 0;  // payload bytes remote-written (zero staging copy)
 };
 
 class Endpoint {
@@ -151,6 +160,27 @@ class Endpoint {
 
   /// Count of in-flight (unacknowledged) slots.
   u32 inflight() const;
+
+  // -- zero-copy rendezvous window (cfg.rndv_window_bytes > 0) --------------
+  // A receiver reserves an extent in its OWN window and ships the absolute
+  // word address to the sender (inside the ADI's CTS); the sender's ring
+  // writes then land the payload directly at that address -- no slot, no
+  // descriptor, no staging copy on either side. Completion is signaled by
+  // the sender's FIN packet on the regular slot path, which the ring's
+  // per-sender write ordering guarantees arrives after the payload words.
+
+  /// Reserve `bytes` in my window (first fit). kNoSpace when fragmented or
+  /// full; kUnavailable when no window is configured.
+  Result<u32> rndv_reserve(u32 bytes);
+  /// Release a reservation made by rndv_reserve (idempotent per extent).
+  void rndv_release(u32 addr_words, u32 bytes);
+  /// Remote-write `payload` at `addr_words` in a peer's window.
+  Status rndv_put(u32 addr_words, std::span<const u8> payload);
+  /// Read `len` bytes from my window at `addr_words` into `buf` (the host
+  /// read MPI semantics require; charged at PIO block-read cost).
+  Status rndv_read(u32 addr_words, std::span<u8> buf, u32 len);
+  /// Total bytes currently reserved (0 when all rendezvous completed).
+  u32 rndv_reserved_bytes() const;
 
   /// Active receive mode (kInterrupt only if the port supports it).
   RecvMode recv_mode() const { return mode_; }
@@ -240,6 +270,13 @@ class Endpoint {
   std::vector<std::deque<Incoming>> inq_;  // per sender, seq-ordered
   std::vector<u32> last_deliv_seq_;    // per sender: last delivered seq (0 = none)
   u32 rr_next_ = 0;                    // round-robin scan position
+
+  // Rendezvous window reservations (my region only), sorted by offset.
+  struct RndvExtent {
+    u32 off_words;
+    u32 words;
+  };
+  std::vector<RndvExtent> rndv_live_;
 
   EndpointStats stats_;
 };

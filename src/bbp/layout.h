@@ -54,16 +54,18 @@ struct Layout {
   u32 slots = 0;        // buffer slots per process (<= 32, one flag bit each)
   u32 region_words = 0; // bank_words / P
   u32 data_words = 0;   // payload capacity per process
+  u32 rndv_words = 0;   // zero-copy rendezvous window per process (opt-in)
 
   Layout() = default;
-  Layout(u32 bank_words, u32 procs_, u32 slots_) : procs(procs_), slots(slots_) {
+  Layout(u32 bank_words, u32 procs_, u32 slots_, u32 rndv_words_ = 0)
+      : procs(procs_), slots(slots_), rndv_words(rndv_words_) {
     if (procs < 2 || procs > kMaxProcs) throw std::invalid_argument("bbp: procs out of range");
     if (slots < 1 || slots > kMaxSlots) throw std::invalid_argument("bbp: slots out of range");
     region_words = bank_words / procs;
     const u32 control = control_words();
-    if (region_words <= control + 16)
+    if (region_words <= control + rndv_words + 16)
       throw std::invalid_argument("bbp: bank too small for layout");
-    data_words = region_words - control;
+    data_words = region_words - control - rndv_words;
   }
 
   /// Control partition size in words.
@@ -85,6 +87,13 @@ struct Layout {
 
   /// Data partition of process p: [data_base, data_base + data_words).
   u32 data_base(u32 p) const { return region_base(p) + control_words(); }
+
+  /// Rendezvous window of process p: [rndv_base, rndv_base + rndv_words).
+  /// Carved from the top of the region, above the circular data partition,
+  /// so the eager-path allocator invariants (and bbp::Validator's extent
+  /// checks over [data_base, data_base + data_words)) are untouched. Senders
+  /// remote-write rendezvous payloads here at CTS-granted offsets.
+  u32 rndv_base(u32 p) const { return data_base(p) + data_words; }
 
   /// Largest single message in bytes.
   u32 max_message_bytes() const { return data_words * 4; }

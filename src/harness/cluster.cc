@@ -184,6 +184,27 @@ std::unique_ptr<netmodels::Fabric> make_fabric(sim::Simulation& sim, u32 nodes,
   return nullptr;
 }
 
+SimTime run_rdma_mpi(u32 nodes,
+                     const std::function<void(sim::Process&, scrmpi::Mpi&)>& body,
+                     RdmaOptions opts) {
+  sim::Simulation sim;
+  netmodels::RdmaFabric fabric(sim, nodes, opts.nic);
+  arm_faults(opts.faults, sim, /*ring=*/nullptr, &fabric);
+  for (u32 r = 0; r < nodes; ++r) {
+    sim.spawn("rdma-rank" + std::to_string(r), [&, r](sim::Process& p) {
+      scrmpi::RdmaChannel dev(fabric, p, r, nodes);
+      scrmpi::Mpi mpi(dev, opts.mpi);
+      body(p, mpi);
+      publish_rank(sim, mpi, r);
+    });
+  }
+  sim.run();
+  publish_run(sim);
+  publish_fabric(fabric, sim);
+  publish_faults(opts.faults, sim);
+  return sim.now();
+}
+
 SimTime run_tcp_mpi(u32 nodes, TcpFabricKind kind,
                     const std::function<void(sim::Process&, scrmpi::Mpi&)>& body,
                     TcpOptions opts) {

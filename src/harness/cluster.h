@@ -13,11 +13,13 @@
 #include "netmodels/atm.h"
 #include "netmodels/ethernet.h"
 #include "netmodels/myrinet.h"
+#include "netmodels/rdma.h"
 #include "netmodels/tcp.h"
 #include "scramnet/ring.h"
 #include "scramnet/sim_port.h"
 #include "scrmpi/ch_bbp.h"
 #include "scrmpi/ch_hybrid.h"
+#include "scrmpi/ch_rdma.h"
 #include "scrmpi/ch_sock.h"
 #include "scrmpi/mpi.h"
 #include "sim/simulation.h"
@@ -92,6 +94,22 @@ SimTime run_scramnet_mpi(
 SimTime run_tcp_mpi(u32 nodes, TcpFabricKind kind,
                     const std::function<void(sim::Process&, scrmpi::Mpi&)>& body,
                     TcpOptions opts = {});
+
+struct RdmaOptions {
+  netmodels::RdmaConfig nic;
+  scrmpi::LayerCosts mpi;
+  /// Optional fault plan, armed against the RDMA fabric (partitions, frame
+  /// loss, congestion apply to eager frames and put chunks alike). Must
+  /// outlive the run; invalid plans throw at startup.
+  fault::FaultPlan* faults = nullptr;
+};
+
+/// Run `body` on every rank of an N-node RDMA cluster (ch_rdma device over
+/// netmodels::RdmaFabric): eager frames two-sided, rendezvous payloads
+/// NIC-put directly into registered receive buffers.
+SimTime run_rdma_mpi(u32 nodes,
+                     const std::function<void(sim::Process&, scrmpi::Mpi&)>& body,
+                     RdmaOptions opts = {});
 
 /// Run `body` on every rank of a *hybrid* cluster: every node sits on both
 /// a SCRAMNet ring (latency) and a TCP fabric (bandwidth), glued by

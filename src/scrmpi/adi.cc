@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
@@ -20,7 +21,21 @@ u32 rts_msg_len(std::span<const u8> payload) {
 }
 }  // namespace
 
-Engine::Engine(ChannelDevice& dev, LayerCosts costs) : dev_(dev), costs_(costs) {}
+Engine::Engine(ChannelDevice& dev, LayerCosts costs) : dev_(dev), costs_(costs) {
+  // CI's forced-rendezvous leg lowers the eager/rendezvous switch point for
+  // a whole run via the environment; an explicit eager_cap always wins.
+  if (costs_.eager_cap == 0) {
+    if (const char* e = std::getenv("SCRNET_RNDV_EAGER_MAX")) {
+      costs_.eager_cap = static_cast<u32>(std::strtoul(e, nullptr, 10));
+    }
+  }
+}
+
+u32 Engine::effective_eager_limit() const {
+  const u32 dev_limit = dev_.eager_limit();
+  return costs_.eager_cap > 0 ? std::min(dev_limit, costs_.eager_cap)
+                              : dev_limit;
+}
 
 u32 Engine::alloc_req() {
   dev_.cpu(costs_.request_alloc);
@@ -36,7 +51,8 @@ u32 Engine::alloc_req() {
 
 void Engine::free_req(u32 idx) {
   reqs_[idx].state = Req::State::kFree;
-  reqs_[idx].send_copy.clear();
+  reqs_[idx].send_view = {};
+  reqs_[idx].placement = {};
   free_reqs_.push_back(idx);
 }
 
@@ -56,7 +72,7 @@ Request Engine::isend(u32 dst, u16 ctx, i32 tag, std::span<const u8> data) {
   h.src = rank();
   h.len = static_cast<u32>(data.size());
 
-  if (data.size() <= dev_.eager_limit()) {
+  if (data.size() <= effective_eager_limit()) {
     // Short/eager: envelope + payload leave in one packet; the request is
     // complete as soon as the channel accepts it. A failed transmit (the
     // device waited out its bounded wait) completes the request with the
@@ -81,11 +97,12 @@ Request Engine::isend(u32 dst, u16 ctx, i32 tag, std::span<const u8> data) {
   h.len = 4;
   r.state = Req::State::kSendWaitCts;
   r.dst = dst;
-  r.send_copy.assign(data.begin(), data.end());
+  r.send_view = data;  // MPI keeps the buffer live until wait(): no copy
   dev_.cpu(costs_.channel_pack);
+  ++rndv_rts_;
   const Status st = dev_.send_packet(dst, h, len_payload);
   if (!st.ok()) {
-    r.send_copy.clear();
+    r.send_view = {};
     r.state = Req::State::kDone;
     r.status.err = st.code();
   }
@@ -113,21 +130,7 @@ Request Engine::irecv(i32 src, u16 ctx, i32 tag, std::span<u8> buf) {
     Unexpected u = std::move(*it);
     unexpected_.erase(it);
     if (u.hdr.kind == PktKind::kRndvRts) {
-      // Grant the rendezvous: CTS carries the sender's request id in aux
-      // and ours in tag (documented protocol detail).
-      PktHeader cts;
-      cts.kind = PktKind::kRndvCts;
-      cts.ctx = ctx;
-      cts.src = rank();
-      cts.aux = u.hdr.aux;
-      cts.tag = static_cast<i32>(idx);
-      r.state = Req::State::kRecvWaitData;
-      r.status = status_of(u.hdr);
-      r.status.count_bytes = rts_msg_len(u.payload);
-      if (const Status st = dev_.send_packet(u.hdr.src, cts, {}); !st.ok()) {
-        r.state = Req::State::kDone;
-        r.status.err = st.code();
-      }
+      grant_rendezvous(idx, u.hdr, u.payload);
     } else {
       complete_recv_into(idx, u.hdr, u.payload);
     }
@@ -136,6 +139,50 @@ Request Engine::irecv(i32 src, u16 ctx, i32 tag, std::span<u8> buf) {
   r.state = Req::State::kRecvPosted;
   posted_.push_back(idx);
   return Request{idx};
+}
+
+void Engine::grant_rendezvous(u32 idx, const PktHeader& rts,
+                              std::span<const u8> rts_payload) {
+  Req& r = reqs_[idx];
+  // CTS carries the sender's request id in aux and ours in tag
+  // (documented protocol detail); the envelope fields of the eventual
+  // completion come from the RTS, recorded now.
+  PktHeader cts;
+  cts.kind = PktKind::kRndvCts;
+  cts.ctx = rts.ctx;
+  cts.src = rank();
+  cts.aux = rts.aux;
+  cts.tag = static_cast<i32>(idx);
+  r.status = status_of(rts);
+  const u32 msg_len = rts_msg_len(rts_payload);
+  r.status.count_bytes = msg_len;
+
+  // Zero-copy grant: reserve placement inside the posted buffer region and
+  // ship it back as the CTS payload. Any failure (no window space, device
+  // without put) silently falls back to the copy path for this message.
+  u8 placement_bytes[kPlacementBytes];
+  std::span<const u8> cts_payload{};
+  const u32 want =
+      static_cast<u32>(std::min<usize>(msg_len, r.buf.size()));
+  if (dev_.supports_put() && want > 0) {
+    Result<RndvPlacement> res =
+        dev_.rndv_reserve(rts.src, want, r.buf.first(want));
+    if (res.ok()) {
+      r.placement = res.value();
+      r.state = Req::State::kRecvWaitFin;
+      encode_placement(r.placement, placement_bytes);
+      cts_payload = placement_bytes;
+      cts.len = kPlacementBytes;
+    }
+  }
+  if (cts_payload.empty()) r.state = Req::State::kRecvWaitData;
+  ++rndv_cts_;
+  if (const Status st = dev_.send_packet(rts.src, cts, cts_payload);
+      !st.ok()) {
+    if (r.state == Req::State::kRecvWaitFin) dev_.rndv_release(r.placement);
+    r.state = Req::State::kDone;
+    r.status.err = st.code();
+  }
 }
 
 void Engine::complete_recv_into(u32 req_idx, const PktHeader& hdr,
@@ -185,20 +232,7 @@ void Engine::handle(Packet pkt) {
         if (!match(reqs_[*it], h)) continue;
         const u32 idx = *it;
         posted_.erase(it);
-        Req& r = reqs_[idx];
-        PktHeader cts;
-        cts.kind = PktKind::kRndvCts;
-        cts.ctx = h.ctx;
-        cts.src = rank();
-        cts.aux = h.aux;
-        cts.tag = static_cast<i32>(idx);
-        r.state = Req::State::kRecvWaitData;
-        r.status = status_of(h);
-        r.status.count_bytes = rts_msg_len(pkt.payload);
-        if (const Status st = dev_.send_packet(h.src, cts, {}); !st.ok()) {
-          r.state = Req::State::kDone;
-          r.status.err = st.code();
-        }
+        grant_rendezvous(idx, h, pkt.payload);
         return;
       }
       unexpected_.push_back(Unexpected{h, std::move(pkt.payload)});
@@ -222,16 +256,38 @@ void Engine::handle(Packet pkt) {
         ++stale_packets_;
         return;
       }
+      if (pkt.payload.size() == kPlacementBytes) {
+        // Zero-copy grant: put the payload straight from the user buffer
+        // into the receiver's placement, FIN rides behind it. No channel
+        // packetization, no per-byte pack charge -- that is the win; the
+        // device charges its own honest put cost (ring write / doorbell).
+        const RndvPlacement pl = decode_placement(pkt.payload);
+        PktHeader fin;
+        fin.kind = PktKind::kRndvFin;
+        fin.ctx = h.ctx;
+        fin.src = rank();
+        fin.len = 0;
+        fin.aux = static_cast<u32>(h.tag);  // receiver's request id
+        const std::span<const u8> data = r.send_view.first(
+            std::min<usize>(r.send_view.size(), pl.bytes));
+        const Status st = dev_.rndv_put(r.dst, pl, data, fin, {});
+        ++rndv_put_;
+        zero_copy_bytes_ += data.size();
+        r.send_view = {};
+        r.state = Req::State::kDone;
+        if (!st.ok()) r.status.err = st.code();
+        return;
+      }
       PktHeader data_hdr;
       data_hdr.kind = PktKind::kRndvData;
       data_hdr.ctx = h.ctx;
       data_hdr.src = rank();
-      data_hdr.len = static_cast<u32>(r.send_copy.size());
+      data_hdr.len = static_cast<u32>(r.send_view.size());
       data_hdr.aux = static_cast<u32>(h.tag);  // receiver's request id
       dev_.cpu(costs_.channel_pack +
-               scaled(dev_.pack_cost(static_cast<u32>(r.send_copy.size()))));
-      const Status st = dev_.send_packet(r.dst, data_hdr, r.send_copy);
-      r.send_copy.clear();
+               scaled(dev_.pack_cost(static_cast<u32>(r.send_view.size()))));
+      const Status st = dev_.send_packet(r.dst, data_hdr, r.send_view);
+      r.send_view = {};
       r.state = Req::State::kDone;
       if (!st.ok()) r.status.err = st.code();
       return;
@@ -257,6 +313,40 @@ void Engine::handle(Packet pkt) {
       complete_recv_into(idx, h, pkt.payload);
       r.status.tag = keep_tag;
       r.status.source = keep_src;
+      return;
+    }
+    case PktKind::kRndvFin: {
+      const u32 idx = h.aux;
+      if (idx >= reqs_.size()) {
+        ++malformed_packets_;
+        return;
+      }
+      Req& r = reqs_[idx];
+      if (r.state == Req::State::kZombie) {
+        // Receiver timed out mid-rendezvous: the placement was already
+        // released by timeout_request, so only the id needs reaping.
+        ++stale_packets_;
+        free_req(idx);
+        return;
+      }
+      if (r.state != Req::State::kRecvWaitFin) {
+        ++stale_packets_;
+        return;
+      }
+      // The device guarantees FIN-after-data: the payload is already at the
+      // placement. Make it visible in the user buffer (free for true RDMA;
+      // a replicated-memory read for BBP) -- note no per-byte unpack charge
+      // and no channel-interface copy.
+      const u32 n = static_cast<u32>(std::min<usize>(
+          std::min<usize>(r.status.count_bytes, r.buf.size()),
+          r.placement.bytes));
+      dev_.cpu(costs_.complete);
+      const Status st = dev_.rndv_complete(r.placement, r.buf, n);
+      dev_.rndv_release(r.placement);
+      ++rndv_fin_;
+      r.status.truncated = r.status.count_bytes > n;
+      r.state = Req::State::kDone;
+      if (!st.ok()) r.status.err = st.code();
       return;
     }
     case PktKind::kCollData: {
@@ -311,14 +401,22 @@ MpiStatus Engine::timeout_request(u32 idx) {
       free_req(idx);
       break;
     }
+    case Req::State::kRecvWaitFin:
+      // Mid-rendezvous with a placement outstanding: give the window space
+      // back before parking (a late FIN is then reaped without touching
+      // the dead buffer). A put already in flight lands in released window
+      // memory -- harmless, it is never read.
+      dev_.rndv_release(r.placement);
+      r.placement = {};
+      [[fallthrough]];
     case Req::State::kSendWaitCts:
     case Req::State::kRecvWaitData:
-      // A late CTS/Data carrying this id may still arrive: park as zombie
-      // (handle() reaps it) so the id is never recycled onto a live
+      // A late CTS/Data/FIN carrying this id may still arrive: park as
+      // zombie (handle() reaps it) so the id is never recycled onto a live
       // request. The caller's buffer must be dropped now -- it dies with
       // this call.
       r.state = Req::State::kZombie;
-      r.send_copy.clear();
+      r.send_view = {};
       r.buf = {};
       break;
     default:

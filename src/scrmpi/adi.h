@@ -44,6 +44,13 @@ struct LayerCosts {
   // so a late CTS/Data is dropped, not mis-matched. 0 = wait forever
   // (the default -- the paper's blocking semantics).
   SimTime op_timeout = 0;
+  // Cap on the eager/rendezvous switch point: payloads above
+  // min(device eager_limit, eager_cap) go rendezvous. 0 (the default)
+  // defers to the device; the Engine constructor reads the
+  // SCRNET_RNDV_EAGER_MAX environment knob into this field when it is 0,
+  // so CI can force the rendezvous path across a whole run (an explicit
+  // nonzero value here always wins over the environment).
+  u32 eager_cap = 0;
 };
 
 class Engine {
@@ -93,23 +100,39 @@ class Engine {
   u64 stale_packets() const { return stale_packets_; }
   /// Undecodable packets (unknown kind / bad request index), dropped.
   u64 malformed_packets() const { return malformed_packets_; }
+  /// Rendezvous protocol traffic (docs/adi.md "Counters").
+  u64 rndv_rts() const { return rndv_rts_; }
+  u64 rndv_cts() const { return rndv_cts_; }
+  u64 rndv_puts() const { return rndv_put_; }
+  u64 rndv_fins() const { return rndv_fin_; }
+  /// Payload bytes that bypassed the channel-interface copy entirely
+  /// (sender-side puts into receiver-granted placements).
+  u64 zero_copy_bytes() const { return zero_copy_bytes_; }
+  /// The switch point actually in force (device limit capped by
+  /// LayerCosts::eager_cap / SCRNET_RNDV_EAGER_MAX).
+  u32 effective_eager_limit() const;
 
  private:
   struct Req {
-    // kZombie: a rendezvous request whose wait timed out while a CTS/Data
-    // naming its id may still be in flight; parked so the id is not
-    // recycled, reaped when the late packet (if any) arrives.
+    // kZombie: a rendezvous request whose wait timed out while a
+    // CTS/Data/FIN naming its id may still be in flight; parked so the id
+    // is not recycled, reaped when the late packet (if any) arrives.
     enum class State : u8 { kFree, kSendWaitCts, kRecvPosted, kRecvWaitData,
-                            kZombie, kDone };
+                            kRecvWaitFin, kZombie, kDone };
     State state = State::kFree;
-    // Send side (rendezvous): payload retained until CTS arrives.
-    std::vector<u8> send_copy;
+    // Send side (rendezvous): a *view* of the caller's payload, retained
+    // until the CTS arrives. MPI semantics already require the buffer to
+    // stay live until wait(), so the ADI no longer stages a copy of it.
+    std::span<const u8> send_view;
     u32 dst = 0;
     // Recv side.
     i32 want_src = kAnySource;
     i32 want_tag = kAnyTag;
     u16 ctx = 0;
     std::span<u8> buf;
+    // Zero-copy rendezvous: the placement granted in our CTS (valid in
+    // state kRecvWaitFin; released on completion or timeout).
+    RndvPlacement placement;
     MpiStatus status;
   };
 
@@ -138,6 +161,11 @@ class Engine {
   void handle(Packet pkt);
   void complete_recv_into(u32 req_idx, const PktHeader& hdr,
                           std::span<const u8> payload);
+  /// Answer an RTS matched to posted request `idx`: try to reserve a
+  /// zero-copy placement (put-capable devices) and send the CTS -- with the
+  /// placement as payload on success, empty for the copy path.
+  void grant_rendezvous(u32 idx, const PktHeader& rts,
+                        std::span<const u8> rts_payload);
   /// Run the progress loop until req is done; false when costs_.op_timeout
   /// is set and expired first.
   bool spin_until_done(u32 idx);
@@ -168,6 +196,11 @@ class Engine {
   u64 timeouts_ = 0;
   u64 stale_packets_ = 0;
   u64 malformed_packets_ = 0;
+  u64 rndv_rts_ = 0;
+  u64 rndv_cts_ = 0;
+  u64 rndv_put_ = 0;
+  u64 rndv_fin_ = 0;
+  u64 zero_copy_bytes_ = 0;
 };
 
 }  // namespace scrnet::scrmpi

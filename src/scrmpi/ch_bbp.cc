@@ -26,6 +26,43 @@ Status BbpChannel::mcast_packet(std::span<const u32> dsts, const PktHeader& hdr,
   return ep_.mcast(dsts, frame(hdr, payload));
 }
 
+Result<RndvPlacement> BbpChannel::rndv_reserve(u32 src, u32 bytes,
+                                               std::span<u8> dest) {
+  (void)src;   // the window is mine; any sender may write the extent
+  (void)dest;  // data lands in replicated memory, read out on FIN
+  Result<u32> addr = ep_.rndv_reserve(bytes);
+  if (!addr.ok()) return addr.status();
+  RndvPlacement pl;
+  pl.addr = addr.value();  // absolute SCRAMNet word address
+  pl.bytes = bytes;
+  return pl;
+}
+
+Status BbpChannel::rndv_put(u32 dst, const RndvPlacement& placement,
+                            std::span<const u8> payload,
+                            const PktHeader& fin_hdr,
+                            std::span<const u8> fin_payload) {
+  // Payload words first, FIN message second: both leave through my port in
+  // program order and SCRAMNet delivers one sender's writes in order, so
+  // the receiver seeing the FIN implies the payload words have landed.
+  if (Status st = ep_.rndv_put(static_cast<u32>(placement.addr), payload);
+      !st.ok())
+    return st;
+  return send_packet(dst, fin_hdr, fin_payload);
+}
+
+Status BbpChannel::rndv_complete(const RndvPlacement& placement,
+                                 std::span<u8> buf, u32 len) {
+  // The payload sits in replicated SCRAMNet memory; MPI semantics want it
+  // in the user's host buffer, so the receiver pays one PIO block read --
+  // but no channel frame, no staging copy, no per-byte unpack pass.
+  return ep_.rndv_read(static_cast<u32>(placement.addr), buf, len);
+}
+
+void BbpChannel::rndv_release(const RndvPlacement& placement) {
+  ep_.rndv_release(static_cast<u32>(placement.addr), placement.bytes);
+}
+
 std::optional<Packet> BbpChannel::poll_packet() {
   const auto src = ep_.msg_avail();
   if (!src) return std::nullopt;

@@ -49,6 +49,22 @@ class BbpChannel final : public ChannelDevice {
   /// "short": a single network unit with the envelope inline.
   u32 short_limit() const override { return eager_limit(); }
 
+  // Zero-copy rendezvous: any node can write any SCRAMNet address, so a
+  // receiver-granted window extent (Layout::rndv_base) is a put target.
+  // The ring's per-sender write ordering makes the FIN (a regular BBP
+  // message from the same sender) arrive after the payload words.
+  bool supports_put() const override {
+    return ep_.layout().rndv_words > 0;
+  }
+  Result<RndvPlacement> rndv_reserve(u32 src, u32 bytes,
+                                     std::span<u8> dest) override;
+  Status rndv_put(u32 dst, const RndvPlacement& placement,
+                  std::span<const u8> payload, const PktHeader& fin_hdr,
+                  std::span<const u8> fin_payload) override;
+  Status rndv_complete(const RndvPlacement& placement, std::span<u8> buf,
+                       u32 len) override;
+  void rndv_release(const RndvPlacement& placement) override;
+
   bbp::Endpoint& endpoint() { return ep_; }
 
  private:

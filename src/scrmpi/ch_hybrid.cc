@@ -28,7 +28,21 @@ Status HybridChannel::send_packet(u32 dst, const PktHeader& hdr,
   // receiver's stash skips a hole only when the whole path is already
   // degraded, and re-using the seq for a later packet would corrupt
   // ordering for good.
-  if (payload.size() <= threshold_) {
+  // An RTS is a 4-byte control packet standing in for a large transfer:
+  // route it by the message length it announces, not its own frame size.
+  // Otherwise every rendezvous send -- whatever rail its data will ride --
+  // lands on the low leg, and a burst of isends can fill the billboard's
+  // slot ring in both directions before either peer reaches a progress
+  // call (the classic eager flow-control deadlock). Keeping control
+  // traffic on its payload's rail keeps per-rail backpressure
+  // proportional to the traffic actually headed there.
+  usize route_bytes = payload.size();
+  if (hdr.kind == PktKind::kRndvRts && payload.size() >= 4) {
+    u32 announced = 0;
+    std::memcpy(&announced, payload.data(), 4);
+    route_bytes = announced;
+  }
+  if (route_bytes <= threshold_) {
     Status st = low_.send_packet(dst, h, wrapped);
     if (st.ok()) ++low_pkts_;
     return st;
@@ -59,6 +73,56 @@ std::optional<Packet> HybridChannel::pop_ready(u32 src) {
   stash.erase(it);
   ++expect_seq_[src];
   return pkt;
+}
+
+Result<RndvPlacement> HybridChannel::rndv_reserve(u32 src, u32 bytes,
+                                                  std::span<u8> dest) {
+  // Prefer the leg the payload would route to; fall back to the other if
+  // it lacks the capability or its window/registration is exhausted.
+  const u32 first = bytes > threshold_ ? 1u : 0u;
+  for (const u32 via : {first, 1u - first}) {
+    ChannelDevice& dev = leg(via);
+    if (!dev.supports_put()) continue;
+    Result<RndvPlacement> res = dev.rndv_reserve(src, bytes, dest);
+    if (res.ok()) {
+      RndvPlacement pl = res.value();
+      pl.via = via;
+      return pl;
+    }
+  }
+  return Status::NoSpace("ch_hybrid: no leg could reserve placement");
+}
+
+Status HybridChannel::rndv_put(u32 dst, const RndvPlacement& placement,
+                               std::span<const u8> payload,
+                               const PktHeader& fin_hdr,
+                               std::span<const u8> fin_payload) {
+  // The receiver unwraps every p2p packet, so the FIN must carry the
+  // hybrid preamble and consume a sequence number like any other packet --
+  // and it must travel on the *same leg* as the put (placement.via) so the
+  // leg's data-before-FIN guarantee survives the split across networks.
+  std::vector<u8> wrapped(kPreambleBytes + fin_payload.size());
+  const u32 seq = next_seq_[dst]++;
+  std::memcpy(wrapped.data(), &seq, 4);
+  u32 magic = kMagic;
+  std::memcpy(wrapped.data() + 4, &magic, 4);
+  if (!fin_payload.empty())
+    std::memcpy(wrapped.data() + kPreambleBytes, fin_payload.data(),
+                fin_payload.size());
+  PktHeader h = fin_hdr;
+  h.len = static_cast<u32>(wrapped.size());
+  Status st = leg(placement.via).rndv_put(dst, placement, payload, h, wrapped);
+  if (st.ok()) (placement.via == 0 ? low_pkts_ : high_pkts_) += 1;
+  return st;
+}
+
+Status HybridChannel::rndv_complete(const RndvPlacement& placement,
+                                    std::span<u8> buf, u32 len) {
+  return leg(placement.via).rndv_complete(placement, buf, len);
+}
+
+void HybridChannel::rndv_release(const RndvPlacement& placement) {
+  leg(placement.via).rndv_release(placement);
 }
 
 std::optional<Packet> HybridChannel::poll_packet() {

@@ -1,0 +1,74 @@
+// ch_rdma: MPICH over an RDMA-capable NIC (netmodels/rdma.h) -- the
+// MPICH2-over-InfiniBand design from PAPERS.md (arXiv cs/0310059) on the
+// simulated testbed.
+//
+// Eager packets ride the two-sided frame path (one frame per packet, a
+// staging copy into the NIC bounce buffer -- the classic channel cost).
+// Rendezvous payloads skip all of it: the receiver registers its posted
+// buffer (rndv_reserve), the sender's NIC DMAs the bytes straight into it
+// (rndv_put) and the FIN frame follows the CQE, so by the time the ADI
+// completes the request the data is already in user memory and
+// rndv_complete costs one CQ poll.
+#pragma once
+
+#include "netmodels/rdma.h"
+#include "scrmpi/channel.h"
+#include "sim/simulation.h"
+
+namespace scrnet::scrmpi {
+
+class RdmaChannel final : public ChannelDevice {
+ public:
+  /// One channel per rank; `proc` is the simulated process running the
+  /// rank and the channel's world rank equals its fabric host id.
+  RdmaChannel(netmodels::RdmaFabric& fabric, sim::Process& proc, u32 host,
+              u32 size, SimTime poll_gap = ns(500))
+      : fabric_(fabric), proc_(proc), host_(host), size_(size),
+        poll_gap_(poll_gap) {}
+
+  u32 rank() const override { return host_; }
+  u32 size() const override { return size_; }
+
+  Status send_packet(u32 dst, const PktHeader& hdr,
+                     std::span<const u8> payload) override;
+  std::optional<Packet> poll_packet() override;
+
+  /// Eager path stages payload into the pinned bounce buffer (send) and
+  /// copies out of the rx ring (recv) -- the copies rendezvous eliminates.
+  SimTime pack_cost(u32 len) const override { return ns(10) * len; }
+  SimTime unpack_cost(u32 len) const override { return ns(10) * len; }
+
+  SimTime now() const override { return proc_.now(); }
+  void cpu(SimTime dt) override { proc_.delay(dt); }
+  void idle_pause() override { proc_.delay(poll_gap_); }
+
+  /// One packet = one frame: envelope + payload must fit the wire MTU.
+  u32 eager_limit() const override {
+    return fabric_.mtu_payload() - kHeaderBytes;
+  }
+  u32 short_limit() const override { return eager_limit(); }
+
+  // Zero-copy rendezvous: registration-based placement, NIC-executed put,
+  // FIN sent only after the sender's CQE (data provably delivered).
+  bool supports_put() const override { return true; }
+  Result<RndvPlacement> rndv_reserve(u32 src, u32 bytes,
+                                     std::span<u8> dest) override;
+  Status rndv_put(u32 dst, const RndvPlacement& placement,
+                  std::span<const u8> payload, const PktHeader& fin_hdr,
+                  std::span<const u8> fin_payload) override;
+  Status rndv_complete(const RndvPlacement& placement, std::span<u8> buf,
+                       u32 len) override;
+  void rndv_release(const RndvPlacement& placement) override;
+
+  netmodels::RdmaFabric& fabric() { return fabric_; }
+
+ private:
+  netmodels::RdmaFabric& fabric_;
+  sim::Process& proc_;
+  u32 host_;
+  u32 size_;
+  SimTime poll_gap_;
+  u64 next_wr_ = 1;
+};
+
+}  // namespace scrnet::scrmpi

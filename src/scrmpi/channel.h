@@ -11,6 +11,7 @@
 // SCRAMNet; header+stream bytes on sockets).
 #pragma once
 
+#include <cstring>
 #include <optional>
 #include <span>
 #include <vector>
@@ -31,6 +32,7 @@ enum class PktKind : u8 {
   kCollData = 6,  // native-multicast collective payload (Bcast)
   kCollBarrier = 7,   // barrier arrival notification (aux = epoch)
   kCollRelease = 8,   // barrier release from coordinator (aux = epoch)
+  kRndvFin = 9,   // zero-copy rendezvous completion (aux = receiver req id)
 };
 
 /// Fixed 20-byte envelope carried by every packet.
@@ -70,6 +72,40 @@ struct Packet {
   PktHeader hdr;
   std::vector<u8> payload;
 };
+
+/// Destination placement a receiver grants to a sender in a zero-copy
+/// rendezvous CTS. Carried as the CTS payload (kPlacementBytes on the
+/// wire); opaque to the ADI beyond round-tripping it back to the device.
+///
+///   addr  -- device-specific placement (billboard word address, RDMA VA)
+///   bytes -- capacity granted (receiver clips to its posted buffer)
+///   rkey  -- remote access key / registration handle (0 when unused)
+///   via   -- routing cookie for composite devices (hybrid: which leg)
+struct RndvPlacement {
+  u64 addr = 0;
+  u32 bytes = 0;
+  u32 rkey = 0;
+  u32 via = 0;
+};
+
+inline constexpr u32 kPlacementBytes = 20;
+
+inline void encode_placement(const RndvPlacement& p, u8 out[kPlacementBytes]) {
+  const u32 w[5] = {static_cast<u32>(p.addr), static_cast<u32>(p.addr >> 32),
+                    p.bytes, p.rkey, p.via};
+  std::memcpy(out, w, kPlacementBytes);
+}
+
+inline RndvPlacement decode_placement(std::span<const u8> in) {
+  u32 w[5] = {};
+  std::memcpy(w, in.data(), kPlacementBytes);
+  RndvPlacement p;
+  p.addr = static_cast<u64>(w[0]) | (static_cast<u64>(w[1]) << 32);
+  p.bytes = w[2];
+  p.rkey = w[3];
+  p.via = w[4];
+  return p;
+}
 
 /// A channel device: one per MPI process.
 class ChannelDevice {
@@ -132,6 +168,61 @@ class ChannelDevice {
   /// need device-side streaming. The ADI marks packets at or below this
   /// kShort and larger eager packets kEager.
   virtual u32 short_limit() const = 0;
+
+  // -------------------------------------------------------------------------
+  // Optional zero-copy put capability (MPICH2/InfiniBand-style RDMA channel
+  // extensions). Devices without remote-write hardware keep the defaults and
+  // the ADI falls back to the copy-based kRndvData path per message.
+  // -------------------------------------------------------------------------
+
+  /// True when the device can land rendezvous payloads directly in a
+  /// receiver-granted placement (billboard window, registered RDMA buffer).
+  virtual bool supports_put() const { return false; }
+
+  /// Receiver side: reserve placement for up to `bytes` from world rank
+  /// `src`, targeting the posted user buffer `dest`. On success the
+  /// placement travels back to the sender inside the CTS payload. Failure
+  /// (window full, registration failed) is not an error -- the ADI falls
+  /// back to the copy path for this message.
+  virtual Result<RndvPlacement> rndv_reserve(u32 src, u32 bytes,
+                                             std::span<u8> dest) {
+    (void)src;
+    (void)bytes;
+    (void)dest;
+    return Status::Unavailable("device has no put capability");
+  }
+
+  /// Sender side: remote-write `payload` into `placement` on `dst`, then
+  /// deliver the FIN packet. The device guarantees FIN arrives after the
+  /// data is visible at the placement (ring ordering on BBP, CQE-gated send
+  /// on RDMA), so the receiver may complete on FIN alone.
+  virtual Status rndv_put(u32 dst, const RndvPlacement& placement,
+                          std::span<const u8> payload, const PktHeader& fin_hdr,
+                          std::span<const u8> fin_payload) {
+    (void)dst;
+    (void)placement;
+    (void)payload;
+    (void)fin_hdr;
+    (void)fin_payload;
+    return Status::Unavailable("device has no put capability");
+  }
+
+  /// Receiver side, on FIN: make the first `len` placement bytes visible in
+  /// `buf`. Devices that staged the payload in replicated memory pay the
+  /// host read here (the data still has to reach host memory); true RDMA
+  /// devices already landed it in `buf` and only poll their CQ.
+  virtual Status rndv_complete(const RndvPlacement& placement,
+                               std::span<u8> buf, u32 len) {
+    (void)placement;
+    (void)buf;
+    (void)len;
+    return Status::Unavailable("device has no put capability");
+  }
+
+  /// Receiver side: release a reservation (after completion, or on timeout
+  /// when the sender died mid-rendezvous). Must be safe to call for any
+  /// placement previously returned by rndv_reserve on this device.
+  virtual void rndv_release(const RndvPlacement& placement) { (void)placement; }
 };
 
 }  // namespace scrnet::scrmpi

@@ -511,6 +511,11 @@ void Mpi::publish_counters(obs::Counters& c, std::string_view group) const {
   c.add(group, "op_timeouts", engine_.op_timeouts());
   c.add(group, "stale_packets", engine_.stale_packets());
   c.add(group, "malformed_packets", engine_.malformed_packets());
+  c.add(group, "rndv_rts", engine_.rndv_rts());
+  c.add(group, "rndv_cts", engine_.rndv_cts());
+  c.add(group, "rndv_puts", engine_.rndv_puts());
+  c.add(group, "rndv_fins", engine_.rndv_fins());
+  c.add(group, "zero_copy_bytes", engine_.zero_copy_bytes());
 }
 
 // ---------------------------------------------------------------------------

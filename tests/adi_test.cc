@@ -3,6 +3,8 @@
 // state machine and envelope encoding without any network model.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -68,6 +70,106 @@ struct Pair {
   MockFabric fab{2};
   MockDevice d0{fab, 0, 2};
   MockDevice d1{fab, 1, 2};
+  Engine e0{d0};
+  Engine e1{d1};
+};
+
+/// Registered put target, shared by both ends of a PutMockDevice pair (the
+/// receiver reserves, the sender resolves the rkey) -- a two-line stand-in
+/// for the fabric's registered-memory table.
+struct MockRegion {
+  std::span<u8> dest;
+  bool live = false;
+};
+
+/// MockDevice plus the optional zero-copy capability: rndv_put is a direct
+/// memcpy into the receiver-reserved span followed by the FIN packet. Also
+/// keeps a crude clock (idle_pause advances 1 us) so op_timeout tests work.
+class PutMockDevice final : public ChannelDevice {
+ public:
+  PutMockDevice(MockFabric& fab, std::vector<MockRegion>& regions, u32 rank,
+                u32 size)
+      : fab_(fab), regions_(regions), rank_(rank), size_(size) {}
+
+  u32 rank() const override { return rank_; }
+  u32 size() const override { return size_; }
+
+  Status send_packet(u32 dst, const PktHeader& hdr,
+                     std::span<const u8> payload) override {
+    Packet p;
+    p.hdr = hdr;
+    p.payload.assign(payload.begin(), payload.end());
+    fab_.queues_[dst].push_back(std::move(p));
+    ++sent_;
+    return Status::Ok();
+  }
+
+  std::optional<Packet> poll_packet() override {
+    auto& q = fab_.queues_[rank_];
+    if (q.empty()) return std::nullopt;
+    Packet p = std::move(q.front());
+    q.pop_front();
+    return p;
+  }
+
+  SimTime pack_cost(u32 len) const override { return ns(1) * len; }
+  SimTime unpack_cost(u32 len) const override { return ns(1) * len; }
+  SimTime now() const override { return now_; }
+  void cpu(SimTime) override {}
+  void idle_pause() override { now_ += us(1); }
+  u32 eager_limit() const override { return 4096; }
+  u32 short_limit() const override { return 1024; }
+
+  bool supports_put() const override { return true; }
+
+  Result<RndvPlacement> rndv_reserve(u32 /*src*/, u32 bytes,
+                                     std::span<u8> dest) override {
+    if (reserve_fail_) return Status::NoSpace("mock window exhausted");
+    regions_.push_back(MockRegion{dest.first(bytes), true});
+    RndvPlacement pl;
+    pl.bytes = bytes;
+    pl.rkey = static_cast<u32>(regions_.size());
+    return pl;
+  }
+
+  Status rndv_put(u32 dst, const RndvPlacement& pl,
+                  std::span<const u8> payload, const PktHeader& fin_hdr,
+                  std::span<const u8> fin_payload) override {
+    MockRegion& r = regions_.at(pl.rkey - 1);
+    if (r.live && !payload.empty()) {
+      std::memcpy(r.dest.data(), payload.data(),
+                  std::min(payload.size(), r.dest.size()));
+    }
+    if (!r.live) ++dead_puts_;
+    ++puts_;
+    return send_packet(dst, fin_hdr, fin_payload);
+  }
+
+  Status rndv_complete(const RndvPlacement&, std::span<u8>, u32) override {
+    return Status::Ok();  // the put already landed in the posted buffer
+  }
+
+  void rndv_release(const RndvPlacement& pl) override {
+    regions_.at(pl.rkey - 1).live = false;
+  }
+
+  u64 sent_ = 0;
+  u64 puts_ = 0;
+  u64 dead_puts_ = 0;
+  bool reserve_fail_ = false;
+
+ private:
+  MockFabric& fab_;
+  std::vector<MockRegion>& regions_;
+  u32 rank_, size_;
+  SimTime now_ = 0;
+};
+
+struct PutPair {
+  MockFabric fab{2};
+  std::vector<MockRegion> regions;
+  PutMockDevice d0{fab, regions, 0, 2};
+  PutMockDevice d1{fab, regions, 1, 2};
   Engine e0{d0};
   Engine e1{d1};
 };
@@ -249,6 +351,190 @@ TEST(Engine, CollectiveTransportCountsAndReleases) {
   p.e1.coll_send(0, 3, PktKind::kCollRelease, 1, {});
   p.e0.coll_wait_release(3, 1);
   SUCCEED();
+}
+
+TEST(Engine, ProtocolBoundariesAreExact) {
+  // The protocol switch points are inclusive: exactly short_limit() is
+  // still a kShort, exactly eager_limit() is still a kEager; one byte more
+  // tips each over.
+  Pair p;
+  const u32 sl = p.d0.short_limit_;  // 1024
+  const u32 el = p.d0.eager_limit();  // 4096
+  const struct {
+    u32 bytes;
+    PktKind kind;
+  } cases[] = {{sl, PktKind::kShort},
+               {sl + 1, PktKind::kEager},
+               {el, PktKind::kEager},
+               {el + 1, PktKind::kRndvRts}};
+  i32 tag = 0;
+  for (const auto& c : cases) {
+    std::vector<u8> msg(c.bytes);
+    fill_pattern(msg, static_cast<u32>(tag) + 1);
+    Request sr = p.e0.isend(1, 1, tag, msg);
+    ASSERT_FALSE(p.fab.queues_[1].empty());
+    EXPECT_EQ(p.fab.queues_[1].back().hdr.kind, c.kind) << c.bytes << " bytes";
+    std::vector<u8> buf(c.bytes);
+    Request rr = p.e1.irecv(0, 1, tag, buf);
+    std::optional<MpiStatus> st;  // test() consumes the completed request
+    for (int i = 0; i < 4 && !(st = p.e1.test(rr)).has_value(); ++i) {
+      p.e1.progress();
+      p.e0.progress();
+    }
+    ASSERT_TRUE(st.has_value()) << c.bytes << " bytes";
+    EXPECT_TRUE(check_pattern(buf, static_cast<u32>(tag) + 1));
+    p.e0.wait(sr);
+    ++tag;
+  }
+}
+
+TEST(Engine, ZeroCopyRendezvousPutsStraightIntoPostedBuffer) {
+  PutPair p;
+  std::vector<u8> big(10000);
+  fill_pattern(big, 7);
+  Request sr = p.e0.isend(1, 1, 0, big);
+  EXPECT_EQ(p.e0.rndv_rts(), 1u);
+  std::vector<u8> buf(10000);
+  Request rr = p.e1.irecv(0, 1, 0, buf);
+  p.e1.progress();  // RTS -> CTS carrying the placement
+  EXPECT_EQ(p.e1.rndv_cts(), 1u);
+  ASSERT_EQ(p.regions.size(), 1u);
+  EXPECT_TRUE(p.regions[0].live);
+  p.e0.progress();  // CTS -> direct put + FIN
+  EXPECT_EQ(p.e0.rndv_puts(), 1u);
+  EXPECT_EQ(p.e0.zero_copy_bytes(), 10000u);
+  p.e1.progress();  // FIN completes the receive
+  const auto st = p.e1.test(rr);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->count_bytes, 10000u);
+  EXPECT_FALSE(st->truncated);
+  EXPECT_TRUE(check_pattern(buf, 7));
+  EXPECT_EQ(p.e1.rndv_fins(), 1u);
+  EXPECT_FALSE(p.regions[0].live);  // placement released at completion
+  EXPECT_TRUE(p.e0.test(sr).has_value());
+  // Only the RTS and FIN crossed as packets: the payload never rode a
+  // kRndvData frame (that is the copy the protocol exists to kill).
+  EXPECT_EQ(p.d0.sent_, 2u);
+}
+
+TEST(Engine, RendezvousFallsBackToCopyWhenReserveFails) {
+  PutPair p;
+  p.d1.reserve_fail_ = true;  // window exhausted on the receiver
+  std::vector<u8> big(10000);
+  fill_pattern(big, 5);
+  Request sr = p.e0.isend(1, 1, 0, big);
+  std::vector<u8> buf(10000);
+  Request rr = p.e1.irecv(0, 1, 0, buf);
+  p.e1.progress();
+  p.e0.progress();
+  p.e1.progress();
+  const auto st = p.e1.test(rr);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->count_bytes, 10000u);
+  EXPECT_TRUE(check_pattern(buf, 5));
+  EXPECT_TRUE(p.e0.test(sr).has_value());
+  // Copy path: no puts, no zero-copy bytes, no FIN -- and an empty
+  // region table proves no placement leaked from the failed reserve.
+  EXPECT_EQ(p.e0.rndv_puts(), 0u);
+  EXPECT_EQ(p.e0.zero_copy_bytes(), 0u);
+  EXPECT_EQ(p.e1.rndv_fins(), 0u);
+  EXPECT_TRUE(p.regions.empty());
+}
+
+TEST(Engine, ZeroCopyTruncatesToPostedBuffer) {
+  PutPair p;
+  std::vector<u8> big(10000);
+  fill_pattern(big, 9);
+  Request sr = p.e0.isend(1, 1, 0, big);
+  std::vector<u8> buf(4000);  // smaller than the message
+  Request rr = p.e1.irecv(0, 1, 0, buf);
+  p.e1.progress();
+  p.e0.progress();
+  p.e1.progress();
+  const auto st = p.e1.test(rr);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_TRUE(st->truncated);
+  // The placement (and the put) covered only the posted 4000 bytes.
+  EXPECT_EQ(p.e0.zero_copy_bytes(), 4000u);
+  EXPECT_TRUE(check_pattern(buf, 9));
+  p.e0.wait(sr);
+}
+
+TEST(Engine, EagerCapForcesRendezvousBelowDeviceLimit) {
+  MockFabric fab(2);
+  std::vector<MockRegion> regions;
+  PutMockDevice d0(fab, regions, 0, 2), d1(fab, regions, 1, 2);
+  LayerCosts costs;
+  costs.eager_cap = 64;  // device says 4096; the cap wins
+  Engine e0(d0, costs), e1(d1, costs);
+  EXPECT_EQ(e0.effective_eager_limit(), 64u);
+  std::vector<u8> msg(100);
+  fill_pattern(msg, 2);
+  Request sr = e0.isend(1, 1, 0, msg);
+  ASSERT_EQ(fab.queues_[1].size(), 1u);
+  EXPECT_EQ(fab.queues_[1][0].hdr.kind, PktKind::kRndvRts);
+  std::vector<u8> buf(100);
+  Request rr = e1.irecv(0, 1, 0, buf);
+  e1.progress();
+  e0.progress();
+  e1.progress();
+  ASSERT_TRUE(e1.test(rr).has_value());
+  ASSERT_TRUE(e0.test(sr).has_value());
+  EXPECT_TRUE(check_pattern(buf, 2));
+  EXPECT_EQ(e0.zero_copy_bytes(), 100u);
+  // At the cap exactly, the message stays eager.
+  std::vector<u8> small(64);
+  Request s2 = e0.isend(1, 1, 1, small);
+  EXPECT_EQ(fab.queues_[1].back().hdr.kind, PktKind::kShort);
+  e0.wait(s2);
+}
+
+TEST(Engine, EagerCapEnvKnobAppliesWhenUnsetInCosts) {
+  setenv("SCRNET_RNDV_EAGER_MAX", "128", 1);
+  MockFabric fab(2);
+  MockDevice d0(fab, 0, 2), d1(fab, 1, 2);
+  Engine e0(d0);  // costs.eager_cap == 0 -> env knob applies
+  EXPECT_EQ(e0.effective_eager_limit(), 128u);
+  LayerCosts costs;
+  costs.eager_cap = 256;  // explicit value beats the environment
+  Engine e1(d1, costs);
+  EXPECT_EQ(e1.effective_eager_limit(), 256u);
+  unsetenv("SCRNET_RNDV_EAGER_MAX");
+}
+
+TEST(Engine, TimeoutMidRendezvousReleasesPlacementAndReapsLateFin) {
+  MockFabric fab(2);
+  std::vector<MockRegion> regions;
+  PutMockDevice d0(fab, regions, 0, 2), d1(fab, regions, 1, 2);
+  LayerCosts tc;
+  tc.op_timeout = us(200);
+  Engine e0(d0), e1(d1, tc);
+  std::vector<u8> big(8192, 1);
+  Request sr = e0.isend(1, 1, 0, big);
+  std::vector<u8> buf(8192);
+  Request rr = e1.irecv(0, 1, 0, buf);
+  e1.progress();  // grants the rendezvous: placement reserved, CTS queued
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_TRUE(regions[0].live);
+  fab.queues_[0].clear();  // CTS lost in flight: the put never comes
+  const MpiStatus st = e1.wait(rr);
+  EXPECT_EQ(st.err, StatusCode::kTimedOut);
+  EXPECT_EQ(e1.op_timeouts(), 1u);
+  // The placement went back to the window *before* the id was parked.
+  EXPECT_FALSE(regions[0].live);
+  // A late FIN naming the parked id is reaped without touching the dead
+  // placement or any recycled request.
+  Packet fin;
+  fin.hdr.kind = PktKind::kRndvFin;
+  fin.hdr.ctx = 1;
+  fin.hdr.src = 0;
+  fin.hdr.len = 0;
+  fin.hdr.aux = rr.idx;
+  fab.queues_[1].push_back(fin);
+  e1.progress();
+  EXPECT_EQ(e1.stale_packets(), 1u);
+  EXPECT_EQ(d1.dead_puts_, 0u);
+  (void)sr;  // the sender never saw the CTS; its request is abandoned here
 }
 
 TEST(Engine, CollDataMatchedInFifoOrderPerRoot) {
