@@ -2,9 +2,13 @@
 //
 // reduce+bcast leans on SCRAMNet's hardware multicast for its second half;
 // recursive doubling is the classic low-latency algorithm on
-// point-to-point networks. The comparison shows where the paper's
-// "collectives from hardware multicast" design philosophy pays and where
-// classic algorithms remain competitive.
+// point-to-point networks; Rabenseifner and ring trade extra latency for
+// moving each byte ~2x instead of log2(n)x, so they take over as vectors
+// grow (arXiv cs/0408034). The comparison shows where the paper's
+// "collectives from hardware multicast" design philosophy pays, where
+// classic algorithms remain competitive, and where the bandwidth-optimal
+// family wins -- the same crossovers the auto-tuner's decision table
+// encodes (docs/collectives.md).
 #include <iostream>
 
 #include "bench_util.h"
@@ -34,14 +38,8 @@ double allreduce_us(bool scramnet, Mpi::AllreduceAlgo algo,
     }
   };
   if (scramnet) {
-    // Pinned to the sequential kernel: the reduce tree makes ranks 1 and 3
-    // request the medium at the *same picosecond*, and equal-time
-    // arbitration order is an explicit contract boundary -- event order
-    // under jobs=1, node order under the sharded spine (both
-    // deterministic, not byte-equal). See docs/simulator.md "Parallel
-    // execution"; every other suite is byte-identical at any sim_jobs.
     ScramnetOptions opts;
-    opts.sim_jobs = 1;
+    opts.ring.bank_words = 1u << 18;  // room for the 64 KiB vectors
     run_scramnet_mpi(nodes, body, opts);
   } else {
     run_tcp_mpi(nodes, TcpFabricKind::kFastEthernet, body);
@@ -55,29 +53,46 @@ int main() {
   header("Ablation: MPI_Allreduce algorithms (4 nodes)",
          "collectives-from-multicast (paper Section 4) vs classic trees");
 
+  const std::vector<u32> kElems{1, 16, 64, 128, 1024, 8192};
   Table t({"elements (doubles)", "SCR reduce+mcast-bcast (us)",
            "SCR reduce+p2p-bcast (us)", "SCR recursive-dbl (us)",
-           "FE reduce+bcast (us)", "FE recursive-dbl (us)"});
+           "SCR rabenseifner (us)", "SCR ring (us)", "FE reduce+bcast (us)",
+           "FE recursive-dbl (us)", "FE ring (us)"});
+  std::vector<u32> bytes_axis;
+  std::vector<double> scr_rd, scr_rab, scr_ring, fe_rd, fe_ring;
   double scr_mc4 = 0, scr_rd4 = 0, fe_rb4 = 0, fe_rd4 = 0;
-  for (u32 n : {1u, 16u, 64u, 128u}) {
+  for (u32 n : kElems) {
     const double a = allreduce_us(true, Mpi::AllreduceAlgo::kReduceBcast,
                                   scrmpi::CollAlgo::kNativeMcast, n);
     const double b = allreduce_us(true, Mpi::AllreduceAlgo::kReduceBcast,
                                   scrmpi::CollAlgo::kPointToPoint, n);
     const double c = allreduce_us(true, Mpi::AllreduceAlgo::kRecursiveDoubling,
                                   scrmpi::CollAlgo::kPointToPoint, n);
+    const double cr = allreduce_us(true, Mpi::AllreduceAlgo::kRabenseifner,
+                                   scrmpi::CollAlgo::kPointToPoint, n);
+    const double cg = allreduce_us(true, Mpi::AllreduceAlgo::kRing,
+                                   scrmpi::CollAlgo::kPointToPoint, n);
     const double d = allreduce_us(false, Mpi::AllreduceAlgo::kReduceBcast,
                                   scrmpi::CollAlgo::kPointToPoint, n);
     const double e = allreduce_us(false, Mpi::AllreduceAlgo::kRecursiveDoubling,
                                   scrmpi::CollAlgo::kPointToPoint, n);
+    const double eg = allreduce_us(false, Mpi::AllreduceAlgo::kRing,
+                                   scrmpi::CollAlgo::kPointToPoint, n);
     if (n == 1) {
       scr_mc4 = a;
       scr_rd4 = c;
       fe_rb4 = d;
       fe_rd4 = e;
     }
+    bytes_axis.push_back(n * 8);
+    scr_rd.push_back(c);
+    scr_rab.push_back(cr);
+    scr_ring.push_back(cg);
+    fe_rd.push_back(e);
+    fe_ring.push_back(eg);
     t.add_row({std::to_string(n), Table::num(a), Table::num(b), Table::num(c),
-               Table::num(d), Table::num(e)});
+               Table::num(cr), Table::num(cg), Table::num(d), Table::num(e),
+               Table::num(eg)});
   }
   t.print(std::cout);
 
@@ -91,5 +106,13 @@ int main() {
               fe_rd4 < fe_rb4);
   check_shape("every SCRAMNet variant beats every FE variant at small sizes",
               scr_mc4 < fe_rd4 && scr_rd4 < fe_rd4);
+  // The latency/bandwidth crossover the decision table encodes: recursive
+  // doubling starts cheaper, the ~2x-bytes family wins for long vectors.
+  report_crossover("FE: recursive doubling -> ring (allreduce)",
+                   crossover(bytes_axis, fe_rd, fe_ring), 256, 65536);
+  report_crossover("SCR: recursive doubling -> rabenseifner (allreduce)",
+                   crossover(bytes_axis, scr_rd, scr_rab), 256, 65536);
+  check_shape("SCR: ring beats recursive doubling at 64 KiB vectors",
+              scr_ring.back() < scr_rd.back());
   return 0;
 }

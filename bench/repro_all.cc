@@ -48,7 +48,7 @@ constexpr const char* kSuite[] = {
     "tbl_ring_throughput", "abl_packet_mode",     "abl_ring_scaling",
     "abl_interrupt_recv", "abl_channel_interface", "abl_ethernet_switch",
     "abl_hybrid",        "abl_hierarchy",         "abl_dma",
-    "abl_allreduce",     "flt_scenarios",
+    "abl_allreduce",     "abl_bcast",             "flt_scenarios",
 };
 
 struct RunResult {

@@ -217,18 +217,18 @@ void Ring::deliver(u32 dst, u32 word_addr, const u32* words, u32 nwords) {
 void Ring::host_write(u32 node, u32 word_addr, u32 value) {
   assert(node < cfg_.nodes && word_addr < cfg_.bank_words);
   banks_[node][word_addr] = value;  // local copy is immediate in any mode
+  SpineOp op{sim_.now(), node, SpineOp::Kind::kWrite};
+  op.word_addr = word_addr;
+  op.nwords = 1;
   if (deferred()) [[unlikely]] {
     Lane& lane = lanes_[sim_.current_shard()];
-    SpineOp op{sim_.now(), node, SpineOp::Kind::kWrite};
-    op.word_addr = word_addr;
-    op.nwords = 1;
     op.payload_off = lane.payload.size();
     lane.payload.push_back(value);
     lane.ops.push_back(op);
     sim_.note_horizon(op.t);
     return;
   }
-  inject_packet(node, word_addr, std::span<const u32>(&value, 1), sim_.now(), sim_.now());
+  seq_record(op, std::span<const u32>(&value, 1));
 }
 
 void Ring::host_write_block(u32 node, u32 word_addr, std::span<const u32> words,
@@ -250,30 +250,51 @@ void Ring::host_write_block(u32 node, u32 word_addr, std::span<const u32> words,
   // a chunk vector per packet -- in kFixed4 mode that used to mean one
   // 1-word vector per word written.
   for (usize i = 0; i < words.size(); ++i) bank[word_addr + i] = words[i];
+  // One record for the whole burst; the replay (barrier or sequential
+  // flush) re-runs the chunking loop with ready times anchored at this
+  // op's time.
+  SpineOp op{sim_.now(), node, SpineOp::Kind::kWrite};
+  op.word_addr = word_addr;
+  op.nwords = static_cast<u32>(words.size());
+  op.word_period = word_period;
   if (deferred()) [[unlikely]] {
-    // One record for the whole burst; the barrier replay re-runs the
-    // chunking loop below with ready times anchored at this op's time.
     Lane& lane = lanes_[sim_.current_shard()];
-    SpineOp op{sim_.now(), node, SpineOp::Kind::kWrite};
-    op.word_addr = word_addr;
-    op.nwords = static_cast<u32>(words.size());
     op.payload_off = lane.payload.size();
-    op.word_period = word_period;
     lane.payload.insert(lane.payload.end(), words.begin(), words.end());
     lane.ops.push_back(op);
     sim_.note_horizon(op.t);
     return;
   }
-  const u32 chunk_words =
-      cfg_.mode == PacketMode::kFixed4 ? 1u : cfg_.max_var_packet_bytes / 4u;
-  usize off = 0;
-  while (off < words.size()) {
-    const usize n = std::min<usize>(chunk_words, words.size() - off);
-    const SimTime ready = sim_.now() + static_cast<SimTime>(off) * word_period;
-    inject_packet(node, word_addr + static_cast<u32>(off), words.subspan(off, n), ready,
-                  sim_.now());
-    off += n;
-  }
+  seq_record(op, words);
+}
+
+void Ring::seq_record(const SpineOp& op, std::span<const u32> words) {
+  seq_ops_.push_back(op);
+  seq_ops_.back().payload_off = seq_payload_.size();
+  seq_payload_.insert(seq_payload_.end(), words.begin(), words.end());
+  if (seq_flush_posted_) return;
+  seq_flush_posted_ = true;
+  // The flush lands behind every event already queued at this timestamp,
+  // so it collects all writes issued at this instant before arbitrating.
+  sim_.post_at(sim_.now(), [this] { seq_flush(); });
+}
+
+void Ring::seq_flush() {
+  seq_flush_posted_ = false;
+  // Every pending op carries this flush's timestamp: the flush was posted
+  // at the first op's time and a later instant starts a new batch. Sorting
+  // by (node, kind) therefore reproduces the sharded spine's (time, node,
+  // kind) barrier merge exactly.
+  std::stable_sort(seq_ops_.begin(), seq_ops_.end(),
+                   [](const SpineOp& a, const SpineOp& b) {
+                     if (a.t != b.t) return a.t < b.t;
+                     if (a.node != b.node) return a.node < b.node;
+                     return static_cast<u8>(a.kind) < static_cast<u8>(b.kind);
+                   });
+  for (const SpineOp& op : seq_ops_)
+    replay_op(op, seq_payload_.data() + op.payload_off);
+  seq_ops_.clear();
+  seq_payload_.clear();
 }
 
 void Ring::on_barrier() {

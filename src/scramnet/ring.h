@@ -202,6 +202,14 @@ class Ring {
   void on_barrier();
   void replay_op(const SpineOp& op, const u32* payload);
 
+  /// Sequential-kernel write batching: record `op` (+ payload words) and
+  /// make sure a flush event at the current timestamp is queued. The flush
+  /// replays every write recorded at that instant sorted by (node, kind) --
+  /// the same order the sharded spine's barrier merge uses -- so
+  /// same-picosecond medium arbitration is node-ordered in every kernel.
+  void seq_record(const SpineOp& op, std::span<const u32> words);
+  void seq_flush();
+
   sim::Simulation& sim_;
   RingConfig cfg_;
   std::vector<std::vector<u32>> banks_;     // [node][word]
@@ -220,6 +228,9 @@ class Ring {
     const Lane* lane;
   };
   std::vector<MergeRef> spine_merge_;       // barrier scratch, capacity reused
+  std::vector<SpineOp> seq_ops_;            // same-instant sequential batch
+  std::vector<u32> seq_payload_;            // its payload arena
+  bool seq_flush_posted_ = false;
   std::vector<u64> irq_fired_;              // per node (written by its shard)
   Counter packets_, words_, lost_, switchovers_;
 };

@@ -18,6 +18,7 @@ class BbpChannel final : public ChannelDevice {
     rxbuf_.resize(kHeaderBytes + ep.layout().max_message_bytes());
   }
 
+  std::string_view kind() const override { return "bbp"; }
   u32 rank() const override { return ep_.rank(); }
   u32 size() const override { return ep_.procs(); }
 
@@ -28,6 +29,12 @@ class BbpChannel final : public ChannelDevice {
   bool has_native_mcast() const override { return true; }
   Status mcast_packet(std::span<const u32> dsts, const PktHeader& hdr,
                       std::span<const u8> payload) override;
+  /// One framed post must fit the sender's billboard data partition
+  /// (bank/procs); past this Endpoint::post rejects the message outright.
+  u32 mcast_cap() const override {
+    const u32 room = ep_.layout().max_message_bytes();
+    return room > kHeaderBytes ? (room - kHeaderBytes) & ~3u : 0;
+  }
 
   /// The channel-interface copy is a real extra pass over the payload on
   /// this device (user buffer -> packet frame) -- the cost the paper's

@@ -36,6 +36,7 @@ class HybridChannel final : public ChannelDevice {
     assert(low_.rank() == high_.rank() && low_.size() == high_.size());
   }
 
+  std::string_view kind() const override { return "hybrid"; }
   u32 rank() const override { return low_.rank(); }
   u32 size() const override { return low_.size(); }
 
@@ -48,6 +49,7 @@ class HybridChannel final : public ChannelDevice {
                       std::span<const u8> payload) override {
     return low_.mcast_packet(dsts, hdr, payload);  // collectives stay on SCRAMNet
   }
+  u32 mcast_cap() const override { return low_.mcast_cap(); }
 
   /// Per-byte costs follow the wire the payload will actually take.
   SimTime pack_cost(u32 len) const override {

@@ -26,6 +26,7 @@ class RdmaChannel final : public ChannelDevice {
       : fabric_(fabric), proc_(proc), host_(host), size_(size),
         poll_gap_(poll_gap) {}
 
+  std::string_view kind() const override { return "rdma"; }
   u32 rank() const override { return host_; }
   u32 size() const override { return size_; }
 

@@ -23,6 +23,7 @@ class SockChannel final : public ChannelDevice {
       : stack_(stack), proc_(proc), size_(size), poll_gap_(poll_gap),
         want_(size, 0) {}
 
+  std::string_view kind() const override { return "sock"; }
   u32 rank() const override { return stack_.host(); }
   u32 size() const override { return size_; }
 

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -115,6 +116,10 @@ class ChannelDevice {
   virtual u32 rank() const = 0;
   virtual u32 size() const = 0;
 
+  /// Short device-family name ("bbp", "sock", "hybrid", "rdma") keying the
+  /// collective decision table (src/tune/). Mocks keep the default.
+  virtual std::string_view kind() const { return "generic"; }
+
   /// MPID_SendControl (+ MPID_SendChannel fused): transmit one packet.
   /// Degraded-mode devices surface bounded-wait expiry as kTimedOut (the
   /// BBP device under a lost ACK path); a clean transmit is kOk. Malformed
@@ -130,6 +135,13 @@ class ChannelDevice {
   /// (SCRAMNet's hardware replication; the hook MPICH reserves for devices
   /// with extra functionality).
   virtual bool has_native_mcast() const { return false; }
+
+  /// Largest single payload mcast_packet can carry. For BBP this is the
+  /// sender's billboard data partition (bank/procs scaled): a larger post
+  /// would be rejected -- and since collective transport is
+  /// fire-and-forget, silently dropped, deadlocking the receivers. The
+  /// native bcast chunks payloads above this cap.
+  virtual u32 mcast_cap() const { return 0xFFFFFFFFu; }
 
   /// Multicast a packet; default loops over send_packet and stops at the
   /// first failure.

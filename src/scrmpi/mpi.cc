@@ -9,20 +9,18 @@
 
 #include "obs/counters.h"
 #include "obs/trace.h"
+#include "scrmpi/coll.h"
+#include "tune/table.h"
 
 namespace scrnet::scrmpi {
 
 namespace {
-/// Reserved tags for collective phases on the coll context.
-constexpr i32 kTagBcast = 0x7001;
-constexpr i32 kTagBarrierUp = 0x7002;
-constexpr i32 kTagBarrierDown = 0x7003;
-constexpr i32 kTagReduce = 0x7004;
-constexpr i32 kTagGather = 0x7005;
-constexpr i32 kTagScatter = 0x7006;
-constexpr i32 kTagSplit = 0x7007;
-constexpr i32 kTagAlltoall = 0x7008;
-constexpr i32 kTagAllreduce = 0x7009;
+// Reserved collective tags (shared registry: coll.h).
+constexpr i32 kTagReduce = coll::tag::kReduce;
+constexpr i32 kTagGather = coll::tag::kGather;
+constexpr i32 kTagScatter = coll::tag::kScatter;
+constexpr i32 kTagSplit = coll::tag::kSplit;
+constexpr i32 kTagAlltoall = coll::tag::kAlltoall;
 }  // namespace
 
 /// RAII scope accumulating virtual time spent inside a blocking MPI call.
@@ -171,75 +169,8 @@ void Mpi::coll_p2p_recv(u32 world_src, u16 ctx, i32 tag, std::span<u8> buf) {
   engine_.wait(engine_.irecv(static_cast<i32>(world_src), ctx, tag, buf));
 }
 
-void Mpi::bcast_p2p(void* buf, u32 bytes, i32 root, const Comm& comm) {
-  const u32 size = comm.size();
-  const u32 me = static_cast<u32>(rank(comm));
-  const u32 vroot = static_cast<u32>(root);
-  const u32 rel = (me - vroot + size) % size;
-
-  // Binomial tree (MPICH): receive from the parent, then forward to the
-  // subtree leads.
-  u32 mask = 1;
-  while (mask < size) {
-    if (rel & mask) {
-      const u32 parent = (rel - mask + vroot) % size;
-      // Collectives run on the coll context with a reserved tag.
-      coll_p2p_recv(comm.world_of(parent), comm.coll_ctx(), kTagBcast,
-                    {static_cast<u8*>(buf), bytes});
-      break;
-    }
-    mask <<= 1;
-  }
-  mask >>= 1;
-  while (mask > 0) {
-    if (rel + mask < size) {
-      const u32 child = (rel + mask + vroot) % size;
-      coll_p2p_send(comm.world_of(child), comm.coll_ctx(), kTagBcast,
-                    {static_cast<const u8*>(buf), bytes});
-    }
-    mask >>= 1;
-  }
-}
-
-void Mpi::barrier_p2p(const Comm& comm) {
-  // MPICH 1.x: combine (tree gather) to rank 0, then a binomial release.
-  const u32 size = comm.size();
-  const u32 me = static_cast<u32>(rank(comm));
-  u8 token = 0;
-
-  u32 mask = 1;
-  while (mask < size) {
-    if (me & mask) {
-      const u32 parent = me - mask;
-      coll_p2p_send(comm.world_of(parent), comm.coll_ctx(), kTagBarrierUp, {&token, 1});
-      break;
-    }
-    if (me + mask < size) {
-      const u32 child = me + mask;
-      coll_p2p_recv(comm.world_of(child), comm.coll_ctx(), kTagBarrierUp, {&token, 1});
-    }
-    mask <<= 1;
-  }
-
-  // Release phase: binomial broadcast of a token from rank 0.
-  mask = 1;
-  while (mask < size) {
-    if (me & mask) {
-      const u32 parent = me - mask;
-      coll_p2p_recv(comm.world_of(parent), comm.coll_ctx(), kTagBarrierDown, {&token, 1});
-      break;
-    }
-    mask <<= 1;
-  }
-  mask >>= 1;
-  while (mask > 0) {
-    if (me + mask < size) {
-      coll_p2p_send(comm.world_of(me + mask), comm.coll_ctx(), kTagBarrierDown,
-                    {&token, 1});
-    }
-    mask >>= 1;
-  }
-}
+// The point-to-point tree/ring/chain algorithm bodies live in coll.cc (the
+// zoo); dispatch below resolves a selector and hands a coll::Ctx over.
 
 // ---------------------------------------------------------------------------
 // Collectives: the paper's BBP-multicast implementations
@@ -250,19 +181,37 @@ void Mpi::bcast_native(void* buf, u32 bytes, i32 root, const Comm& comm) {
   // in the group [and] uses the multicast operation in the BBP API to
   // broadcast the data to each process in the group. ... not synchronizing
   // ... multiple MPI_Bcast operations are matched in order."
+  // Payloads above the device's mcast cap (for BBP: the sender's billboard
+  // data partition, which shrinks as procs grow) are chunked -- a single
+  // oversized post would be rejected by the endpoint and, collective
+  // transport being fire-and-forget, silently dropped with every receiver
+  // blocked in coll_wait_data. Chunks from one root are matched in order
+  // (the paper's non-synchronizing semantics), so receivers just
+  // accumulate until the announced byte count is complete.
   const u32 me = static_cast<u32>(rank(comm));
+  const u32 cap = std::max<u32>(4, engine_.device().mcast_cap());
   if (me == static_cast<u32>(root)) {
     if (comm.size() == 1) return;
     const std::vector<u32> dsts = others(comm);
-    engine_.coll_mcast(dsts, comm.coll_ctx(), PktKind::kCollData, 0,
-                       {static_cast<const u8*>(buf), bytes});
+    u32 off = 0;
+    do {
+      const u32 n = std::min(bytes - off, cap);
+      engine_.coll_mcast(dsts, comm.coll_ctx(), PktKind::kCollData, 0,
+                         {static_cast<const u8*>(buf) + off, n});
+      off += n;
+    } while (off < bytes);
     return;
   }
-  const std::vector<u8> data =
-      engine_.coll_wait_data(comm.coll_ctx(), comm.world_of(static_cast<u32>(root)));
-  if (data.size() != bytes)
-    throw std::runtime_error("scrmpi: bcast size mismatch across ranks");
-  if (bytes) std::memcpy(buf, data.data(), bytes);
+  const u32 root_world = comm.world_of(static_cast<u32>(root));
+  u32 off = 0;
+  do {
+    const std::vector<u8> data =
+        engine_.coll_wait_data(comm.coll_ctx(), root_world);
+    if (data.size() > bytes - off || (data.empty() && bytes != off))
+      throw std::runtime_error("scrmpi: bcast size mismatch across ranks");
+    if (!data.empty()) std::memcpy(static_cast<u8*>(buf) + off, data.data(), data.size());
+    off += static_cast<u32>(data.size());
+  } while (off < bytes);
 }
 
 void Mpi::barrier_native(const Comm& comm) {
@@ -284,6 +233,54 @@ void Mpi::barrier_native(const Comm& comm) {
 }
 
 // ---------------------------------------------------------------------------
+// Selector resolution (the decision table behind kAuto)
+// ---------------------------------------------------------------------------
+
+std::string_view Mpi::table_pick(std::string_view op, u32 nodes,
+                                 u32 bytes) {
+  const tune::DecisionTable& t =
+      table_ ? *table_ : tune::DecisionTable::active();
+  return t.pick(engine_.device().kind(), op, nodes, bytes);
+}
+
+CollAlgo Mpi::resolve_bcast(u32 nodes, u32 bytes) {
+  CollAlgo a = bcast_algo_;
+  if (a == CollAlgo::kAuto)
+    a = coll::coll_algo_from_name(table_pick("bcast", nodes, bytes),
+                                  CollAlgo::kBinomial);
+  if (a == CollAlgo::kNativeMcast && !engine_.has_native_mcast())
+    a = CollAlgo::kBinomial;
+  return a;
+}
+
+CollAlgo Mpi::resolve_barrier(u32 nodes) {
+  CollAlgo a = barrier_algo_;
+  if (a == CollAlgo::kAuto)
+    a = coll::coll_algo_from_name(table_pick("barrier", nodes, 0),
+                                  CollAlgo::kPointToPoint);
+  if (a == CollAlgo::kNativeMcast && !engine_.has_native_mcast())
+    a = CollAlgo::kPointToPoint;
+  return a;
+}
+
+AllreduceAlgo Mpi::resolve_allreduce(u32 nodes, u32 bytes) {
+  AllreduceAlgo a = allreduce_algo_;
+  if (a == AllreduceAlgo::kAuto)
+    a = coll::allreduce_algo_from_name(table_pick("allreduce", nodes, bytes),
+                                       AllreduceAlgo::kReduceBcast);
+  return a;
+}
+
+AllgatherAlgo Mpi::resolve_allgather(u32 nodes, u32 block_bytes) {
+  AllgatherAlgo a = allgather_algo_;
+  if (a == AllgatherAlgo::kAuto)
+    a = coll::allgather_algo_from_name(
+        table_pick("allgather", nodes, block_bytes),
+        AllgatherAlgo::kGatherBcast);
+  return a;
+}
+
+// ---------------------------------------------------------------------------
 // Collective entry points
 // ---------------------------------------------------------------------------
 
@@ -293,11 +290,27 @@ void Mpi::bcast(void* buf, u32 count, Datatype dt, i32 root, const Comm& comm) {
   TimedCall tc(*this);
   ++stats_.bcasts;
   engine_.device().cpu(engine_.costs().binding);
-  const u32 bytes = count * datatype_size(dt);
-  if (use_native(bcast_algo_))
-    bcast_native(buf, bytes, root, comm);
-  else
-    bcast_p2p(buf, bytes, root, comm);
+  const u32 bytes = coll_bytes(count, dt);
+  u8* data = static_cast<u8*>(buf);
+  const u32 vroot = static_cast<u32>(root);
+  coll::Ctx cx(engine_, comm);
+  switch (resolve_bcast(comm.size(), bytes)) {
+    case CollAlgo::kNativeMcast:
+      bcast_native(buf, bytes, root, comm);
+      break;
+    case CollAlgo::kScatterAllgather:
+      coll::bcast_scatter_allgather(cx, data, bytes, vroot);
+      break;
+    case CollAlgo::kRing:
+      coll::bcast_ring(cx, data, bytes, vroot);
+      break;
+    case CollAlgo::kChain:
+      coll::bcast_chain(cx, data, bytes, vroot);
+      break;
+    default:  // kPointToPoint / kBinomial (and any stale selector)
+      coll::bcast_binomial(cx, data, bytes, vroot);
+      break;
+  }
 }
 
 void Mpi::barrier(const Comm& comm) {
@@ -305,10 +318,18 @@ void Mpi::barrier(const Comm& comm) {
   TimedCall tc(*this);
   ++stats_.barriers;
   engine_.device().cpu(engine_.costs().binding);
-  if (use_native(barrier_algo_))
-    barrier_native(comm);
-  else
-    barrier_p2p(comm);
+  coll::Ctx cx(engine_, comm);
+  switch (resolve_barrier(comm.size())) {
+    case CollAlgo::kNativeMcast:
+      barrier_native(comm);
+      break;
+    case CollAlgo::kDissemination:
+      coll::barrier_dissemination(cx);
+      break;
+    default:  // kPointToPoint and the bcast-only selectors
+      coll::barrier_combine_release(cx);
+      break;
+  }
 }
 
 void Mpi::reduce(const void* sendbuf, void* recvbuf, u32 count, Datatype dt,
@@ -321,7 +342,7 @@ void Mpi::reduce(const void* sendbuf, void* recvbuf, u32 count, Datatype dt,
   const u32 me = static_cast<u32>(rank(comm));
   const u32 vroot = static_cast<u32>(root);
   const u32 rel = (me - vroot + size) % size;
-  const u32 bytes = count * datatype_size(dt);
+  const u32 bytes = coll_bytes(count, dt);
 
   std::vector<u8> acc(bytes), tmp(bytes);
   std::memcpy(acc.data(), sendbuf, bytes);
@@ -346,74 +367,30 @@ void Mpi::reduce(const void* sendbuf, void* recvbuf, u32 count, Datatype dt,
 
 void Mpi::allreduce(const void* sendbuf, void* recvbuf, u32 count, Datatype dt,
                     ReduceOp op, const Comm& comm) {
-  if (allreduce_algo_ == AllreduceAlgo::kRecursiveDoubling) {
-    std::memcpy(recvbuf, sendbuf,
-                static_cast<usize>(count) * datatype_size(dt));
-    allreduce_rd(recvbuf, count, dt, op, comm);
+  ++stats_.allreduces;
+  const u32 bytes = coll_bytes(count, dt);
+  const AllreduceAlgo a = resolve_allreduce(comm.size(), bytes);
+  if (a == AllreduceAlgo::kReduceBcast) {
+    // Composite: the inner reduce/bcast charge their own binding cost and
+    // TimedCall scopes, exactly as before the zoo.
+    reduce(sendbuf, recvbuf, count, dt, op, 0, comm);
+    bcast(recvbuf, count, dt, 0, comm);
     return;
   }
-  reduce(sendbuf, recvbuf, count, dt, op, 0, comm);
-  bcast(recvbuf, count, dt, 0, comm);
-}
-
-void Mpi::allreduce_rd(void* recvbuf, u32 count, Datatype dt, ReduceOp op,
-                       const Comm& comm) {
-  // MPICH's recursive doubling: fold the ranks beyond the largest power of
-  // two into their even neighbors, double among the survivors, then push
-  // the result back out. Requires commutative ops (all of ReduceOp is).
   TimedCall tc(*this);
   engine_.device().cpu(engine_.costs().binding);
-  const u32 np = comm.size();
-  const u32 me = static_cast<u32>(rank(comm));
-  const u32 bytes = count * datatype_size(dt);
-  if (np == 1) return;
-
-  u32 pof2 = 1;
-  while (pof2 * 2 <= np) pof2 *= 2;
-  const u32 rem = np - pof2;
-  std::vector<u8> tmp(bytes);
-
-  // Fold phase: odd ranks below 2*rem contribute to their even neighbor.
-  i32 newrank;
-  if (me < 2 * rem) {
-    if (me % 2 == 1) {
-      coll_p2p_send(comm.world_of(me - 1), comm.coll_ctx(), kTagAllreduce,
-                    {static_cast<const u8*>(recvbuf), bytes});
-      newrank = -1;  // sits out of the doubling phase
-    } else {
-      coll_p2p_recv(comm.world_of(me + 1), comm.coll_ctx(), kTagAllreduce, tmp);
-      apply_reduce(dt, op, recvbuf, tmp.data(), count);
-      newrank = static_cast<i32>(me / 2);
-    }
-  } else {
-    newrank = static_cast<i32>(me - rem);
-  }
-
-  // Doubling phase among the pof2 survivors.
-  if (newrank >= 0) {
-    for (u32 mask = 1; mask < pof2; mask <<= 1) {
-      const u32 newpeer = static_cast<u32>(newrank) ^ mask;
-      const u32 peer = newpeer < rem ? newpeer * 2 : newpeer + rem;
-      Request rr = engine_.irecv(static_cast<i32>(comm.world_of(peer)),
-                                 comm.coll_ctx(), kTagAllreduce, tmp);
-      Request sr = engine_.isend(comm.world_of(peer), comm.coll_ctx(),
-                                 kTagAllreduce,
-                                 {static_cast<const u8*>(recvbuf), bytes});
-      engine_.wait(rr);
-      engine_.wait(sr);
-      apply_reduce(dt, op, recvbuf, tmp.data(), count);
-    }
-  }
-
-  // Unfold: even ranks push the final result to the neighbors that sat out.
-  if (me < 2 * rem) {
-    if (me % 2 == 1) {
-      coll_p2p_recv(comm.world_of(me - 1), comm.coll_ctx(), kTagAllreduce,
-                    {static_cast<u8*>(recvbuf), bytes});
-    } else {
-      coll_p2p_send(comm.world_of(me + 1), comm.coll_ctx(), kTagAllreduce,
-                    {static_cast<const u8*>(recvbuf), bytes});
-    }
+  if (bytes) std::memcpy(recvbuf, sendbuf, bytes);
+  coll::Ctx cx(engine_, comm);
+  switch (a) {
+    case AllreduceAlgo::kRabenseifner:
+      coll::allreduce_rabenseifner(cx, recvbuf, count, dt, op);
+      break;
+    case AllreduceAlgo::kRing:
+      coll::allreduce_ring(cx, recvbuf, count, dt, op);
+      break;
+    default:
+      coll::allreduce_recursive_doubling(cx, recvbuf, count, dt, op);
+      break;
   }
 }
 
@@ -423,7 +400,7 @@ void Mpi::gather(const void* sendbuf, u32 count, Datatype dt, void* recvbuf,
   ++stats_.gathers;
   engine_.device().cpu(engine_.costs().binding);
   const u32 me = static_cast<u32>(rank(comm));
-  const u32 bytes = count * datatype_size(dt);
+  const u32 bytes = coll_bytes(count, dt);
   if (me != static_cast<u32>(root)) {
     coll_p2p_send(comm.world_of(static_cast<u32>(root)), comm.coll_ctx(), kTagGather,
                   as_bytes(sendbuf, count, dt));
@@ -444,7 +421,7 @@ void Mpi::scatter(const void* sendbuf, void* recvbuf, u32 count, Datatype dt,
   ++stats_.scatters;
   engine_.device().cpu(engine_.costs().binding);
   const u32 me = static_cast<u32>(rank(comm));
-  const u32 bytes = count * datatype_size(dt);
+  const u32 bytes = coll_bytes(count, dt);
   if (me == static_cast<u32>(root)) {
     const u8* in = static_cast<const u8*>(sendbuf);
     for (u32 r = 0; r < comm.size(); ++r) {
@@ -463,6 +440,25 @@ void Mpi::scatter(const void* sendbuf, void* recvbuf, u32 count, Datatype dt,
 
 void Mpi::allgather(const void* sendbuf, u32 count, Datatype dt, void* recvbuf,
                     const Comm& comm) {
+  ++stats_.allgathers;
+  const u32 block = coll_bytes(count, dt);
+  // The assembled result must itself fit a 32-bit wire length.
+  const u64 total = static_cast<u64>(block) * comm.size();
+  if (total > 0xFFFFFFFFull)
+    throw std::invalid_argument(
+        "scrmpi: allgather result overflows 32-bit byte count");
+  if (resolve_allgather(comm.size(), block) == AllgatherAlgo::kRing) {
+    TimedCall tc(*this);
+    engine_.device().cpu(engine_.costs().binding);
+    const u32 me = static_cast<u32>(rank(comm));
+    u8* out = static_cast<u8*>(recvbuf);
+    if (block)
+      std::memcpy(out + static_cast<usize>(me) * block, sendbuf, block);
+    coll::Ctx cx(engine_, comm);
+    coll::allgather_ring(cx, out, block);
+    return;
+  }
+  // Composite reference: gather + bcast charge their own scopes.
   gather(sendbuf, count, dt, recvbuf, 0, comm);
   bcast(recvbuf, count * comm.size(), dt, 0, comm);
 }
@@ -473,7 +469,7 @@ void Mpi::alltoall(const void* sendbuf, void* recvbuf, u32 count, Datatype dt,
   engine_.device().cpu(engine_.costs().binding);
   const u32 me = static_cast<u32>(rank(comm));
   const u32 np = comm.size();
-  const u32 bytes = count * datatype_size(dt);
+  const u32 bytes = coll_bytes(count, dt);
   const u8* in = static_cast<const u8*>(sendbuf);
   u8* out = static_cast<u8*>(recvbuf);
   std::memcpy(out + static_cast<usize>(me) * bytes,
@@ -504,6 +500,8 @@ void Mpi::publish_counters(obs::Counters& c, std::string_view group) const {
   c.add(group, "reduces", stats_.reduces);
   c.add(group, "gathers", stats_.gathers);
   c.add(group, "scatters", stats_.scatters);
+  c.add(group, "allreduces", stats_.allreduces);
+  c.add(group, "allgathers", stats_.allgathers);
   c.add(group, "bytes_sent", stats_.bytes_sent);
   c.add(group, "bytes_received", stats_.bytes_received);
   c.add(group, "time_in_mpi_ns", static_cast<u64>(to_ns(stats_.time_in_mpi)));

@@ -21,6 +21,10 @@ namespace scrnet::obs {
 class Counters;
 }
 
+namespace scrnet::tune {
+class DecisionTable;
+}
+
 namespace scrnet::scrmpi {
 
 /// A communicator: an ordered group of world ranks plus context ids that
@@ -54,6 +58,7 @@ class Comm {
 struct CallStats {
   u64 sends = 0, recvs = 0;
   u64 bcasts = 0, barriers = 0, reduces = 0, gathers = 0, scatters = 0;
+  u64 allreduces = 0, allgathers = 0;
   u64 bytes_sent = 0, bytes_received = 0;
   SimTime time_in_mpi = 0;  // virtual time spent inside blocking MPI calls
 };
@@ -69,16 +74,26 @@ class Mpi {
   u32 size(const Comm& c) const { return c.size(); }
 
   /// Select the MPI_Bcast / MPI_Barrier implementation (Figures 5 and 6
-  /// compare kPointToPoint against kNativeMcast).
+  /// compare kPointToPoint against kNativeMcast; the full zoo lives in
+  /// coll.h). The default, kAuto, consults the sweep-generated decision
+  /// table per (device, op, nodes, bytes) -- see src/tune/ and
+  /// docs/collectives.md. kNativeMcast on a device without hardware
+  /// multicast falls back to the binomial tree.
   void set_bcast_algo(CollAlgo a) { bcast_algo_ = a; }
   void set_barrier_algo(CollAlgo a) { barrier_algo_ = a; }
 
   /// MPI_Allreduce algorithm (bench/abl_allreduce compares these).
-  enum class AllreduceAlgo {
-    kReduceBcast,         // binomial reduce to 0, then MPI_Bcast
-    kRecursiveDoubling,   // MPICH's recursive doubling
-  };
+  using AllreduceAlgo = scrmpi::AllreduceAlgo;
   void set_allreduce_algo(AllreduceAlgo a) { allreduce_algo_ = a; }
+
+  /// MPI_Allgather algorithm.
+  void set_allgather_algo(AllgatherAlgo a) { allgather_algo_ = a; }
+
+  /// Override the decision table kAuto consults (default: the process
+  /// table, i.e. DecisionTable::active() -- the compiled-in sweep result
+  /// unless SCRNET_COLL_TABLE names a file). Not owned; must outlive the
+  /// Mpi instance.
+  void set_decision_table(const tune::DecisionTable* t) { table_ = t; }
 
   Engine& engine() { return engine_; }
 
@@ -145,17 +160,19 @@ class Mpi {
   void coll_p2p_send(u32 world_dst, u16 ctx, i32 tag, std::span<const u8> data);
   void coll_p2p_recv(u32 world_src, u16 ctx, i32 tag, std::span<u8> buf);
 
-  /// Force the point-to-point algorithm regardless of device capability.
-  void bcast_p2p(void* buf, u32 bytes, i32 root, const Comm& comm);
+  /// The paper's BBP-multicast implementations (engine collective
+  /// transport, not point-to-point; the p2p zoo lives in coll.cc).
   void bcast_native(void* buf, u32 bytes, i32 root, const Comm& comm);
-  void barrier_p2p(const Comm& comm);
   void barrier_native(const Comm& comm);
-  void allreduce_rd(void* recvbuf, u32 count, Datatype dt, ReduceOp op,
-                    const Comm& comm);
-  bool use_native(CollAlgo a) const {
-    return a == CollAlgo::kNativeMcast ||
-           (a == CollAlgo::kAuto && engine_.has_native_mcast());
-  }
+
+  /// Resolve a selector for this call: kAuto goes through the decision
+  /// table; kNativeMcast downgrades to a p2p algorithm when the device
+  /// has no hardware multicast.
+  CollAlgo resolve_bcast(u32 nodes, u32 bytes);
+  CollAlgo resolve_barrier(u32 nodes);
+  AllreduceAlgo resolve_allreduce(u32 nodes, u32 bytes);
+  AllgatherAlgo resolve_allgather(u32 nodes, u32 block_bytes);
+  std::string_view table_pick(std::string_view op, u32 nodes, u32 bytes);
   std::span<const u8> as_bytes(const void* p, u32 count, Datatype dt) const {
     return {static_cast<const u8*>(p), static_cast<usize>(count) * datatype_size(dt)};
   }
@@ -175,7 +192,9 @@ class Mpi {
   std::map<u16, u32> barrier_epoch_;  // coll ctx -> last epoch used
   CollAlgo bcast_algo_ = CollAlgo::kAuto;
   CollAlgo barrier_algo_ = CollAlgo::kAuto;
-  AllreduceAlgo allreduce_algo_ = AllreduceAlgo::kReduceBcast;
+  AllreduceAlgo allreduce_algo_ = AllreduceAlgo::kAuto;
+  AllgatherAlgo allgather_algo_ = AllgatherAlgo::kAuto;
+  const tune::DecisionTable* table_ = nullptr;  // nullptr: process table
 };
 
 /// Element-wise reduction: recv[i] = op(recv[i], in[i]).

@@ -3,6 +3,8 @@
 // one the paper exercises plus natural extensions used by the examples.
 #pragma once
 
+#include <stdexcept>
+#include <string>
 #include <string_view>
 
 #include "common/status.h"
@@ -52,6 +54,20 @@ constexpr std::string_view datatype_name(Datatype d) {
   return "?";
 }
 
+/// Collective payload size: count * element size computed in 64-bit. The
+/// naive u32 multiply silently wraps for count >= 2^29 with 8-byte
+/// datatypes; packet headers carry 32-bit lengths (PktHeader::len), so a
+/// collective payload past 4 GiB - 1 cannot be represented on the wire and
+/// is rejected here, before any buffer is touched.
+inline u32 coll_bytes(u32 count, Datatype dt) {
+  const u64 bytes = static_cast<u64>(count) * datatype_size(dt);
+  if (bytes > 0xFFFFFFFFull)
+    throw std::invalid_argument(
+        "scrmpi: collective payload overflows 32-bit byte count (count=" +
+        std::to_string(count) + ", " + std::string(datatype_name(dt)) + ")");
+  return static_cast<u32>(bytes);
+}
+
 /// Reduction operators.
 enum class ReduceOp : u8 { kSum, kProd, kMax, kMin, kLand, kLor, kBand, kBor };
 
@@ -74,12 +90,70 @@ struct Request {
   bool valid() const { return idx != 0xFFFFFFFFu; }
 };
 
-/// Collective algorithm selection; the paper's Figures 5 and 6 compare
-/// exactly these two implementations.
+/// Collective algorithm selection for MPI_Bcast / MPI_Barrier. The paper's
+/// Figures 5 and 6 compare kPointToPoint against kNativeMcast; the zoo
+/// entries below come from the tuning literature (arXiv cs/0408034,
+/// 1603.06809) and docs/collectives.md catalogs them. kAuto consults the
+/// tuner's decision table (src/tune/) per (device, op, nodes, bytes).
 enum class CollAlgo {
-  kAuto,          // native multicast when the device has it, else p2p
-  kPointToPoint,  // MPICH's standard tree algorithms over MPI p2p
-  kNativeMcast,   // the paper's BBP-multicast-based implementation
+  kAuto,             // decision-table lookup (sweep-generated, src/tune/)
+  kPointToPoint,     // MPICH's default tree: binomial bcast / combine-release
+  kNativeMcast,      // the paper's BBP-multicast-based implementation
+  kBinomial,         // explicit binomial tree (same as kPointToPoint bcast)
+  kScatterAllgather, // Rabenseifner/van de Geijn: binomial scatter + ring ag
+  kRing,             // unsegmented relay around the logical ring
+  kChain,            // segmented pipelined chain
+  kDissemination,    // barrier only: log2(n) dissemination rounds
 };
+
+constexpr std::string_view coll_algo_name(CollAlgo a) {
+  switch (a) {
+    case CollAlgo::kAuto: return "auto";
+    case CollAlgo::kPointToPoint: return "p2p";
+    case CollAlgo::kNativeMcast: return "native";
+    case CollAlgo::kBinomial: return "binomial";
+    case CollAlgo::kScatterAllgather: return "scatter_allgather";
+    case CollAlgo::kRing: return "ring";
+    case CollAlgo::kChain: return "chain";
+    case CollAlgo::kDissemination: return "dissemination";
+  }
+  return "?";
+}
+
+/// MPI_Allreduce algorithm (bench/abl_allreduce compares all of these).
+enum class AllreduceAlgo {
+  kAuto,               // decision-table lookup
+  kReduceBcast,        // binomial reduce to 0, then MPI_Bcast
+  kRecursiveDoubling,  // MPICH's recursive doubling
+  kRabenseifner,       // recursive-halving reduce-scatter + rd allgather
+  kRing,               // ring reduce-scatter + ring allgather
+};
+
+constexpr std::string_view allreduce_algo_name(AllreduceAlgo a) {
+  switch (a) {
+    case AllreduceAlgo::kAuto: return "auto";
+    case AllreduceAlgo::kReduceBcast: return "reduce_bcast";
+    case AllreduceAlgo::kRecursiveDoubling: return "recursive_doubling";
+    case AllreduceAlgo::kRabenseifner: return "rabenseifner";
+    case AllreduceAlgo::kRing: return "ring";
+  }
+  return "?";
+}
+
+/// MPI_Allgather algorithm.
+enum class AllgatherAlgo {
+  kAuto,         // decision-table lookup
+  kGatherBcast,  // gather to rank 0, then MPI_Bcast (the naive reference)
+  kRing,         // n-1 neighbor-exchange steps, each block travels once
+};
+
+constexpr std::string_view allgather_algo_name(AllgatherAlgo a) {
+  switch (a) {
+    case AllgatherAlgo::kAuto: return "auto";
+    case AllgatherAlgo::kGatherBcast: return "gather_bcast";
+    case AllgatherAlgo::kRing: return "ring";
+  }
+  return "?";
+}
 
 }  // namespace scrnet::scrmpi

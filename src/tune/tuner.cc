@@ -1,0 +1,190 @@
+// The collective auto-tuner (ROADMAP item 4): sweep every algorithm over
+// the (device, op, nodes, bytes) grid in measure.h, print the measurement
+// matrix, and emit the first-match decision table that kAuto consults.
+//
+// The winning algorithm is the measured argmin per grid cell; adjacent
+// cells with the same winner compress into one rule whose max_bytes /
+// max_nodes threshold is the midpoint to the next grid coordinate. A
+// legacy-default catch-all tail ("*" device rules) keeps devices outside
+// the grid (hybrid, mocks) on their pre-tuner behavior.
+//
+// Usage:
+//   tuner [--jobs N] [--out table.txt] [--cc builtin_table.inc] [--quick]
+//
+// --quick shrinks the grid to a 2x2 (sizes x nodes) corner -- enough for
+// the CI determinism leg to race Runner orderings without paying for the
+// full sweep.
+//
+// Output is bit-identical at any --jobs and any SCRNET_SIM_JOBS: each
+// grid cell is one self-contained deterministic simulation and results
+// are collected in submission order (docs/sweep.md).
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "sweep/runner.h"
+#include "tune/measure.h"
+#include "tune/table.h"
+
+using namespace scrnet;
+using namespace scrnet::tune;
+
+namespace {
+
+u32 parse_jobs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+      return static_cast<u32>(std::atol(argv[i + 1]));
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+      return static_cast<u32>(std::atol(argv[i] + 7));
+  }
+  return 0;
+}
+
+const char* parse_opt(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  return nullptr;
+}
+
+/// Winner per (size index) for one (device, op, nodes) row group.
+struct RowWinners {
+  std::vector<std::string> algo;  // parallel to kSweepSizes (1 for barrier)
+};
+
+/// Midpoint threshold between adjacent grid coordinates; "*" past the end.
+u32 limit_after(const std::vector<u32>& grid, usize i) {
+  if (i + 1 >= grid.size()) return kUnlimited;
+  return (grid[i] + grid[i + 1]) / 2;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sweep::Runner runner(parse_jobs(argc, argv));
+  const bool quick = has_flag(argc, argv, "--quick");
+  const std::vector<u32> size_grid =
+      quick ? std::vector<u32>{8, 4096} : kSweepSizes;
+  const std::vector<u32> node_grid = quick ? std::vector<u32>{4, 8} : kSweepNodes;
+
+  // ---- fan the full grid out ---------------------------------------------
+  std::vector<MeasureSpec> specs;
+  for (const std::string& dev : kSweepDevices)
+    for (const std::string& op : kSweepOps)
+      for (u32 nodes : node_grid)
+        for (const std::string& algo : candidates(dev, op)) {
+          if (op == "barrier") {
+            specs.push_back({dev, op, algo, nodes, 0});
+            continue;
+          }
+          for (u32 bytes : size_grid)
+            specs.push_back({dev, op, algo, nodes, bytes});
+        }
+
+  const std::vector<double> us =
+      runner.map("tune", specs, [](const MeasureSpec& s) {
+        return measure_us(s);
+      });
+
+  // ---- print the measurement matrix --------------------------------------
+  std::cout << "Collective auto-tuner: " << specs.size()
+            << " measured cells over devices={bbp,sock,rdma}\n";
+  Table t({"device", "op", "algo", "nodes", "bytes", "latency (us)"});
+  for (usize i = 0; i < specs.size(); ++i) {
+    const MeasureSpec& s = specs[i];
+    t.add_row({s.device, s.op, s.algo, std::to_string(s.nodes),
+               std::to_string(s.bytes), Table::num(us[i])});
+  }
+  t.print(std::cout);
+
+  // ---- reduce to argmin winners per (device, op, nodes, size) ------------
+  const auto latency_of = [&](const std::string& dev, const std::string& op,
+                              const std::string& algo, u32 nodes, u32 bytes) {
+    for (usize i = 0; i < specs.size(); ++i)
+      if (specs[i].device == dev && specs[i].op == op &&
+          specs[i].algo == algo && specs[i].nodes == nodes &&
+          specs[i].bytes == bytes)
+        return us[i];
+    return -1.0;
+  };
+
+  DecisionTable table;
+  for (const std::string& dev : kSweepDevices) {
+    for (const std::string& op : kSweepOps) {
+      const std::vector<u32> sizes =
+          op == "barrier" ? std::vector<u32>{0} : size_grid;
+      // Winners per node bucket.
+      std::vector<RowWinners> winners(node_grid.size());
+      for (usize ni = 0; ni < node_grid.size(); ++ni) {
+        for (u32 bytes : sizes) {
+          std::string best;
+          double best_us = 0;
+          for (const std::string& algo : candidates(dev, op)) {
+            const double v = latency_of(dev, op, algo, node_grid[ni], bytes);
+            if (best.empty() || v < best_us) {
+              best = algo;
+              best_us = v;
+            }
+          }
+          winners[ni].algo.push_back(best);
+        }
+      }
+      // Emit rules: per node bucket (merging identical adjacent buckets),
+      // per size run of one winner.
+      for (usize ni = 0; ni < node_grid.size(); ++ni) {
+        usize nj = ni;
+        while (nj + 1 < node_grid.size() &&
+               winners[nj + 1].algo == winners[ni].algo)
+          ++nj;
+        const u32 max_nodes = limit_after(node_grid, nj);
+        for (usize si = 0; si < sizes.size(); ++si) {
+          usize sj = si;
+          while (sj + 1 < sizes.size() &&
+                 winners[ni].algo[sj + 1] == winners[ni].algo[si])
+            ++sj;
+          const u32 max_bytes =
+              op == "barrier" ? kUnlimited : limit_after(size_grid, sj);
+          table.add({dev, op, max_nodes, max_bytes, winners[ni].algo[si]});
+          si = sj;
+        }
+        ni = nj;
+      }
+    }
+  }
+  // Legacy-default tail for devices outside the grid (hybrid, mocks):
+  // exactly the pre-tuner kAuto behavior.
+  table.add({"*", "bcast", kUnlimited, kUnlimited, "native"});
+  table.add({"*", "barrier", kUnlimited, kUnlimited, "native"});
+  table.add({"*", "allreduce", kUnlimited, kUnlimited, "reduce_bcast"});
+  table.add({"*", "allgather", kUnlimited, kUnlimited, "gather_bcast"});
+
+  std::cout << "\nDecision table (" << table.size() << " rules):\n"
+            << table.serialize();
+
+  if (const char* out = parse_opt(argc, argv, "--out")) {
+    std::ofstream f(out);
+    f << table.serialize();
+    std::cout << "\nwrote " << out << "\n";
+  }
+  if (const char* cc = parse_opt(argc, argv, "--cc")) {
+    std::ofstream f(cc);
+    f << "// Generated by src/tune/tuner --cc; see docs/collectives.md for\n"
+         "// the regeneration workflow. Parsed at first use by\n"
+         "// DecisionTable::builtin().\n"
+         "R\"tbl(\n"
+      << table.serialize() << ")tbl\"\n";
+    std::cout << "wrote " << cc << "\n";
+  }
+  return 0;
+}

@@ -60,8 +60,12 @@ TEST(Fault, HealRestoresNormalLatency) {
   cfg.nodes = 3;
   cfg.bank_words = 1024;
   Ring ring(sim, cfg);
+  // Same-instant host writes arbitrate in one (node, kind)-ordered batch
+  // (docs/simulator.md "Parallel execution"), so run the sim between the
+  // two writes to give each its own link-state instant.
   ring.fail_link(0);
   ring.host_write(0, 5, 1);  // lost for everyone downstream of 0
+  sim.run();
   ring.heal_link(0);
   ring.host_write(0, 6, 2);  // injected after heal: delivered normally
   sim.run();
