@@ -42,6 +42,13 @@ using namespace scrnet;
 
 namespace {
 
+/// Committed reference wall-clock for the full suite (seconds), measured
+/// on the 1-core CI-class box that produced the goldens. The suite
+/// printing more than 1.5x this is a perf-regression canary: it warns
+/// (stdout only, exit status unchanged) so golden identity and timing
+/// drift stay separate signals.
+constexpr double kReferenceWallS = 26.5;
+
 constexpr const char* kSuite[] = {
     "fig1_latency",      "fig2_api_networks",     "fig3_mpi_networks",
     "fig4_bcast_vs_p2p", "fig5_mpi_bcast",        "fig6_barrier",
@@ -199,5 +206,13 @@ int main(int argc, char** argv) {
             << futs.size() - static_cast<usize>(bad) << "/" << futs.size()
             << (compare ? " identical" : " completed") << "), suite wall-clock "
             << buf << "\n";
+  if (total_s > 1.5 * kReferenceWallS) {
+    char ref[64];
+    std::snprintf(ref, sizeof ref, "%.2fs (1.5x reference %.1fs)",
+                  1.5 * kReferenceWallS, kReferenceWallS);
+    std::cout << "repro_all: WARN suite wall-clock " << buf
+              << " exceeds budget " << ref
+              << " -- investigate simulator perf regressions\n";
+  }
   return bad;
 }

@@ -131,19 +131,21 @@ Result<u32> Endpoint::alloc_slot(u32 len_bytes, bool block) {
 void Endpoint::collect_garbage() {
   TRACE_SPAN(obs::Layer::kBbp, me_, "bbp.gc", port_);
   ++stats_.gc_runs;
-  u32 interested = 0;
-  for (u32 id : live_) interested |= slot_[id].pending;
-  for (u32 r = 0; r < layout_.procs; ++r) {
-    if (!((interested >> r) & 1u)) continue;
+  // Only receivers some live slot still waits on are worth an ACK-word
+  // read: O(active destinations), not O(procs) -- at N=256 an idle GC pass
+  // touches nothing.
+  DestSet interested;
+  for (u32 id : live_) interested.or_with(slot_[id].pending);
+  interested.for_each([&](u32 r) {
     port_.cpu_delay(cfg_.cpu.gc_cpu);
     const u32 cur = port_.read_u32(layout_.ack_flag_addr(me_, r));
     const u32 changed = cur ^ ack_base_[r];
-    if (!changed) continue;
+    if (!changed) return;
     for (u32 b = 0; b < cfg_.slots; ++b) {
       if (!((changed >> b) & 1u)) continue;
       Slot& s = slot_[b];
-      if (s.in_use && ((s.pending >> r) & 1u)) {
-        s.pending &= ~(1u << r);
+      if (s.in_use && s.pending.test(r)) {
+        s.pending.clear(r);
         ack_base_[r] ^= (1u << b);
       }
       // A toggled bit for a slot we are not waiting on would be a protocol
@@ -152,10 +154,10 @@ void Endpoint::collect_garbage() {
         assert(false && "bbp: unexpected ACK toggle");
       }
     }
-  }
+  });
   // Reclaim completed slots in FIFO order; the circular allocator frees
   // space only from the tail, mirroring the paper's on-demand GC.
-  while (!live_.empty() && slot_[live_.front()].pending == 0) {
+  while (!live_.empty() && slot_[live_.front()].pending.empty()) {
     const u32 id = live_.front();
     live_.pop_front();
     slot_[id].in_use = false;
@@ -176,12 +178,11 @@ void Endpoint::collect_garbage() {
   BBP_VALIDATE(*this, "collect_garbage");
 }
 
-Status Endpoint::post(u32 dest_mask, std::span<const u8> payload, bool block) {
+Status Endpoint::post(const DestSet& dests, std::span<const u8> payload,
+                      bool block) {
   TRACE_SPAN(obs::Layer::kBbp, me_, "bbp.post", port_);
-  if (dest_mask == 0) return Status::InvalidArg("bbp: empty destination set");
-  // Width-safe range check: `dest_mask >> procs` is UB when procs == 32
-  // (and on x86 evaluated as a shift by 0, rejecting every 32-proc send).
-  if ((static_cast<u64>(dest_mask) >> layout_.procs) != 0)
+  if (dests.empty()) return Status::InvalidArg("bbp: empty destination set");
+  if (!dests.within(layout_.procs))
     return Status::InvalidArg("bbp: destination out of range");
   if (payload.size() > layout_.max_message_bytes())
     return Status::InvalidArg("bbp: message exceeds data partition");
@@ -197,7 +198,7 @@ Status Endpoint::post(u32 dest_mask, std::span<const u8> payload, bool block) {
   s.in_use = true;
   s.seq = seq_next_++;
   s.len_bytes = len_bytes;
-  s.pending = dest_mask;
+  s.pending = dests;
   live_.push_back(id);
 
   // 1. payload into the billboard (zero-copy from the user buffer);
@@ -213,15 +214,16 @@ Status Endpoint::post(u32 dest_mask, std::span<const u8> payload, bool block) {
   // 2. descriptor;
   const u32 desc[3] = {s.seq, s.offset_words, s.len_bytes};
   port_.write_block(layout_.desc_addr(me_, id), desc);
-  // 3. toggle the MESSAGE bit at every destination (single-step multicast).
+  // 3. toggle the MESSAGE bit at every destination (single-step multicast);
+  // the DestSet walk visits members only, so a unicast at N=256 costs one
+  // word write, not a 256-bit scan.
   u32 ndest = 0;
-  for (u32 r = 0; r < layout_.procs; ++r) {
-    if (!((dest_mask >> r) & 1u)) continue;
+  dests.for_each([&](u32 r) {
     port_.cpu_delay(cfg_.cpu.send_per_dest);
     sent_flag_mirror_[r] ^= (1u << id);
     port_.write_u32(layout_.msg_flag_addr(r, me_), sent_flag_mirror_[r]);
     ++ndest;
-  }
+  });
   if (ndest > 1)
     ++stats_.mcasts;
   else
@@ -232,30 +234,30 @@ Status Endpoint::post(u32 dest_mask, std::span<const u8> payload, bool block) {
 
 Status Endpoint::send(u32 dest, std::span<const u8> payload) {
   if (dest >= layout_.procs) return Status::InvalidArg("bbp: bad dest");
-  return post(1u << dest, payload, /*block=*/true);
+  return post(DestSet::single(dest), payload, /*block=*/true);
 }
 
 Status Endpoint::try_send(u32 dest, std::span<const u8> payload) {
   if (dest >= layout_.procs) return Status::InvalidArg("bbp: bad dest");
-  return post(1u << dest, payload, /*block=*/false);
+  return post(DestSet::single(dest), payload, /*block=*/false);
 }
 
 Status Endpoint::mcast(std::span<const u32> dests, std::span<const u8> payload) {
-  u32 mask = 0;
+  DestSet set;
   for (u32 d : dests) {
     if (d >= layout_.procs) return Status::InvalidArg("bbp: bad dest");
-    mask |= 1u << d;
+    set.set(d);
   }
-  return post(mask, payload, /*block=*/true);
+  return post(set, payload, /*block=*/true);
 }
 
 Status Endpoint::try_mcast(std::span<const u32> dests, std::span<const u8> payload) {
-  u32 mask = 0;
+  DestSet set;
   for (u32 d : dests) {
     if (d >= layout_.procs) return Status::InvalidArg("bbp: bad dest");
-    mask |= 1u << d;
+    set.set(d);
   }
-  return post(mask, payload, /*block=*/false);
+  return post(set, payload, /*block=*/false);
 }
 
 // ---------------------------------------------------------------------------

@@ -32,6 +32,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "common/units.h"
+#include "bbp/destset.h"
 #include "bbp/layout.h"
 #include "scramnet/port.h"
 
@@ -207,7 +208,7 @@ class Endpoint {
     u32 seq = 0;
     u32 offset_words = 0;  // absolute word address of payload
     u32 len_bytes = 0;
-    u32 pending = 0;       // bitmask of receivers that have not acked yet
+    DestSet pending;       // receivers that have not acked yet
   };
 
   struct Incoming {
@@ -223,7 +224,7 @@ class Endpoint {
   Result<u32> alloc_slot(u32 len_bytes, bool block);
   /// Reconcile ACK words and reclaim completed slots (FIFO order).
   void collect_garbage();
-  Status post(u32 dest_mask, std::span<const u8> payload, bool block);
+  Status post(const DestSet& dests, std::span<const u8> payload, bool block);
 
   // -- receive side --------------------------------------------------------
   /// One poll pass over sender s's MESSAGE flag word; enqueues new arrivals.

@@ -44,9 +44,11 @@ namespace scrnet::bbp {
 /// one reserved word keeping descriptors 16-byte aligned.
 inline constexpr u32 kDescWords = 4;
 
-/// Maximum processes: MESSAGE/ACK words are per process pair, but the slot
-/// bitmask and destination masks are 32-bit.
-inline constexpr u32 kMaxProcs = 32;
+/// Maximum processes: MESSAGE/ACK words are per process pair; destination
+/// sets are DestSet (inline u64 up to 64 procs, heap words above), so the
+/// cap is a sanity bound on control-partition growth, not a mask width.
+/// The per-slot flag bitmasks stay 32-bit, which is what caps kMaxSlots.
+inline constexpr u32 kMaxProcs = 1024;
 inline constexpr u32 kMaxSlots = 32;
 
 struct Layout {

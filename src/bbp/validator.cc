@@ -89,7 +89,7 @@ void Validator::check(Endpoint& ep, const char* where) {
     const u32 changed = ep.port_.peek_u32(lay.ack_flag_addr(ep.me_, r)) ^ ep.ack_base_[r];
     for (u32 b = 0; b < ep.cfg_.slots; ++b) {
       if (!((changed >> b) & 1u)) continue;
-      if (!ep.slot_[b].in_use || !((ep.slot_[b].pending >> r) & 1u))
+      if (!ep.slot_[b].in_use || !ep.slot_[b].pending.test(r))
         fail(where, "receiver " + std::to_string(r) + " acked slot " + std::to_string(b) +
                         " which is not pending at it");
     }

@@ -1,5 +1,6 @@
 #include "harness/cluster.h"
 
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
@@ -66,7 +67,10 @@ void publish_run(const sim::Simulation& sim) {
 void maybe_partition(sim::Simulation& sim, scramnet::Ring& ring,
                      const ScramnetOptions& opts) {
   if (sim.jobs() <= 1) return;
-  ring.set_partition(block_partition(ring.nodes(), sim.jobs()));
+  const char* skew = std::getenv("SCRNET_SIM_SKEW");
+  ring.set_partition(skew && *skew && *skew != '0'
+                         ? skewed_partition(ring.nodes(), sim.jobs())
+                         : block_partition(ring.nodes(), sim.jobs()));
   sim.set_lookahead(opts.ring.hop_latency);
 }
 }  // namespace
@@ -75,6 +79,15 @@ std::vector<u32> block_partition(u32 nodes, u32 shards) {
   std::vector<u32> map(nodes);
   for (u32 n = 0; n < nodes; ++n)
     map[n] = static_cast<u32>((static_cast<u64>(n) * shards) / nodes);
+  return map;
+}
+
+std::vector<u32> skewed_partition(u32 nodes, u32 shards) {
+  std::vector<u32> map(nodes, 0);
+  if (shards <= 1) return map;
+  // Tail shards get one node each; everything else piles onto shard 0.
+  const u32 tail = std::min(shards - 1, nodes - 1);
+  for (u32 i = 0; i < tail; ++i) map[nodes - tail + i] = shards - tail + i;
   return map;
 }
 

@@ -50,6 +50,14 @@ struct ScramnetOptions {
 /// block-boundary hops cross shards.
 std::vector<u32> block_partition(u32 nodes, u32 shards);
 
+/// Deliberately unbalanced block partition: shard 0 gets every node except
+/// the last shards-1, which get one node each. One hot shard and a tail of
+/// nearly-idle ones -- the worst case for lockstep windows and the best
+/// case for work stealing. Results must be bit-identical to block_partition
+/// (determinism does not depend on the cut); SCRNET_SIM_SKEW=1 makes the
+/// harness use it so any golden suite can be replayed skewed.
+std::vector<u32> skewed_partition(u32 nodes, u32 shards);
+
 /// Which baseline fabric to put under TCP (Figures 2/3/5/6 comparisons).
 enum class TcpFabricKind { kFastEthernet, kAtm, kMyrinet };
 

@@ -24,13 +24,92 @@ SimTime RingHierarchy::serialize(u32 ring, u32 payload_bytes, SimTime ready_at) 
   return done;
 }
 
-void RingHierarchy::deliver_at(SimTime at, u32 node, u32 word_addr,
-                               const std::shared_ptr<std::vector<u32>>& words) {
-  sim_.post_at(at, [this, node, word_addr, words] {
+u32 RingHierarchy::chain_node(const Chain& c, u32 k) const {
+  const u32 m = cfg_.nodes_per_ring;
+  if (c.kind == Chain::Kind::kLeaf) return c.ring * m + (c.start + k) % m;
+  return ((c.start + k) % cfg_.leaf_rings) * m;  // bridge of the k-th ring on
+}                                                // from the source ring
+
+RingHierarchy::Chain* RingHierarchy::acquire_chain() {
+  if (chain_free_ == nullptr) {
+    chain_pool_.emplace_back();
+    return &chain_pool_.back();
+  }
+  Chain* c = chain_free_;
+  chain_free_ = c->next_free;
+  return c;
+}
+
+void RingHierarchy::release_chain(Chain* c) {
+  c->words.reset();
+  c->next_free = chain_free_;
+  chain_free_ = c;
+}
+
+// Deliver step k, then as many later steps as the kernel's inline-apply
+// bound allows inside this one host event; when the next step's time
+// becomes observable, fall back to a real event posted from the previous
+// step's own tick (relaying there first if we coalesced past it) so
+// same-picosecond event ordering stays as close to the one-event-per-node
+// scheme as insertion order allows. Delivery times are bit-identical --
+// only the host event count changes.
+void RingHierarchy::chain_step(Chain* c) {
+  for (;;) {
+    const u32 node = chain_node(*c, c->k);
     auto& bank = banks_[node];
-    assert(word_addr + words->size() <= bank.size());
-    for (usize i = 0; i < words->size(); ++i) bank[word_addr + i] = (*words)[i];
-  });
+    assert(c->word_addr + c->words->size() <= bank.size());
+    for (usize i = 0; i < c->words->size(); ++i)
+      bank[c->word_addr + i] = (*c->words)[i];
+    sim_.note_inline_apply(c->t0 + static_cast<SimTime>(c->k - 1) * c->stride);
+    if (c->k >= c->last) break;
+    const SimTime t_prev = c->t0 + static_cast<SimTime>(c->k - 1) * c->stride;
+    ++c->k;
+    const SimTime t = c->t0 + static_cast<SimTime>(c->k - 1) * c->stride;
+    if (t >= sim_.inline_apply_bound()) {
+      if (sim_.now() != t_prev) {
+        Chain* chain = c;
+        --chain->k;  // re-enter at the already-delivered step
+        sim_.post_at(t_prev, [this, chain] { chain_resume(chain); });
+      } else {
+        sim_.post_at(t, [this, c] { chain_step(c); });
+      }
+      return;
+    }
+  }
+  release_chain(c);
+}
+
+// Relay landing: step c->k is already delivered; continue from the check.
+void RingHierarchy::chain_resume(Chain* c) {
+  if (c->k >= c->last) {
+    release_chain(c);
+    return;
+  }
+  ++c->k;
+  const SimTime t = c->t0 + static_cast<SimTime>(c->k - 1) * c->stride;
+  if (t >= sim_.inline_apply_bound()) {
+    sim_.post_at(t, [this, c] { chain_step(c); });
+    return;
+  }
+  chain_step(c);  // bound moved: deliver inline and keep coalescing
+}
+
+void RingHierarchy::start_chain(Chain::Kind kind, u32 ring, u32 start,
+                                SimTime t0, SimTime stride, u32 last,
+                                u32 word_addr,
+                                const std::shared_ptr<std::vector<u32>>& words) {
+  if (last == 0) return;  // single-node ring: nothing downstream
+  Chain* c = acquire_chain();
+  c->t0 = t0;
+  c->stride = stride;
+  c->k = 1;
+  c->last = last;
+  c->ring = ring;
+  c->start = start;
+  c->kind = kind;
+  c->word_addr = word_addr;
+  c->words = words;
+  sim_.post_at(t0, [this, c] { chain_step(c); });
 }
 
 void RingHierarchy::inject(u32 src, u32 word_addr, std::vector<u32> words,
@@ -41,18 +120,17 @@ void RingHierarchy::inject(u32 src, u32 word_addr, std::vector<u32> words,
   packets_.inc();
   auto shared = std::make_shared<std::vector<u32>>(std::move(words));
 
-  // 1. Source leaf ring: per-sender serialization, then hop-by-hop.
+  // 1. Source leaf ring: per-sender serialization, then hop-by-hop. One
+  // chain covers all m-1 downstream nodes.
   const SimTime leaf_start = std::max(ready_at, tx_free_[src]);
   const SimTime leaf_done = serialize(src_ring, payload, leaf_start);
   tx_free_[src] = leaf_done;
-  SimTime at_bridge = leaf_done;  // if src IS the bridge
-  for (u32 k = 1; k < m; ++k) {
-    const u32 local = (local_of(src) + k) % m;
-    const u32 dst = src_ring * m + local;
-    const SimTime at = leaf_done + static_cast<SimTime>(k) * cfg_.leaf_hop;
-    deliver_at(at, dst, word_addr, shared);
-    if (local == 0) at_bridge = at;  // bridge reached after this many hops
-  }
+  const u32 src_local = local_of(src);
+  const SimTime at_bridge =   // bridge is m - local hops downstream of src
+      src_local == 0 ? leaf_done
+                     : leaf_done + static_cast<SimTime>(m - src_local) * cfg_.leaf_hop;
+  start_chain(Chain::Kind::kLeaf, src_ring, src_local, leaf_done + cfg_.leaf_hop,
+              cfg_.leaf_hop, m - 1, word_addr, shared);
   if (cfg_.leaf_rings < 2) return;
 
   // 2. Bridge forwards onto the backbone (store-and-forward).
@@ -60,22 +138,21 @@ void RingHierarchy::inject(u32 src, u32 word_addr, std::vector<u32> words,
   const SimTime bb_ready = at_bridge + cfg_.bridge_latency;
   const SimTime bb_done = serialize(cfg_.leaf_rings, payload, bb_ready);
 
-  // 3. Backbone visits the other bridges; each forwards into its leaf ring.
+  // 3. Backbone visits the other bridges (one chain for all of them); each
+  // forwards into its leaf ring (one chain per ring -- the down-ring start
+  // times come from per-ring serialization, so they share no stride).
+  start_chain(Chain::Kind::kBridges, 0, src_ring, bb_done + cfg_.backbone_hop,
+              cfg_.backbone_hop, cfg_.leaf_rings - 1, word_addr, shared);
   for (u32 j = 1; j < cfg_.leaf_rings; ++j) {
     const u32 ring = (src_ring + j) % cfg_.leaf_rings;
     const SimTime at_other_bridge =
         bb_done + static_cast<SimTime>(j) * cfg_.backbone_hop;
-    const u32 bridge_node = ring * m;
-    deliver_at(at_other_bridge, bridge_node, word_addr, shared);
 
     // 4. Down into the leaf ring.
     const SimTime down_ready = at_other_bridge + cfg_.bridge_latency;
     const SimTime down_done = serialize(ring, payload, down_ready);
-    for (u32 k = 1; k < m; ++k) {
-      const u32 dst = ring * m + k;
-      deliver_at(down_done + static_cast<SimTime>(k) * cfg_.leaf_hop, dst,
-                 word_addr, shared);
-    }
+    start_chain(Chain::Kind::kLeaf, ring, 0, down_done + cfg_.leaf_hop,
+                cfg_.leaf_hop, m - 1, word_addr, shared);
   }
 }
 

@@ -15,7 +15,9 @@
 // across the hierarchy unchanged.
 #pragma once
 
+#include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/stats.h"
@@ -76,9 +78,33 @@ class RingHierarchy {
   /// ring id: 0..K-1 = leaf rings, K = backbone.
   SimTime serialize(u32 ring, u32 payload_bytes, SimTime ready_at);
 
-  /// Deliver `words` into `node`'s bank at time `at`.
-  void deliver_at(SimTime at, u32 node, u32 word_addr,
-                  const std::shared_ptr<std::vector<u32>>& words);
+  /// One pooled delivery chain: a run of bank updates along one ring with
+  /// a fixed time stride, carried by a single self-advancing event that
+  /// coalesces steps inside the kernel's inline-apply bound -- the same
+  /// trick as Ring's packet walk. One packet used to post one event per
+  /// visited node ((K-1)*M + M-1 of them); it now posts one chain per ring
+  /// plus one for the backbone bridges, O(rings) events.
+  struct Chain {
+    Chain* next_free = nullptr;
+    SimTime t0 = 0;      // delivery time of step 1
+    SimTime stride = 0;
+    u32 k = 1;           // next step to deliver (1-based)
+    u32 last = 0;        // final step
+    u32 ring = 0;        // kLeaf: leaf ring id (kBridges: unused)
+    u32 start = 0;       // kLeaf: source local index; kBridges: source ring
+    enum class Kind : u8 { kLeaf, kBridges } kind = Kind::kLeaf;
+    u32 word_addr = 0;
+    std::shared_ptr<std::vector<u32>> words;
+  };
+
+  u32 chain_node(const Chain& c, u32 k) const;
+  void chain_step(Chain* c);
+  void chain_resume(Chain* c);
+  void start_chain(Chain::Kind kind, u32 ring, u32 start, SimTime t0,
+                   SimTime stride, u32 last, u32 word_addr,
+                   const std::shared_ptr<std::vector<u32>>& words);
+  Chain* acquire_chain();
+  void release_chain(Chain* c);
 
   /// Propagate a packet from a source node across the whole system.
   void inject(u32 src, u32 word_addr, std::vector<u32> words, SimTime ready_at);
@@ -88,6 +114,8 @@ class RingHierarchy {
   std::vector<std::vector<u32>> banks_;       // [global node][word]
   std::vector<SimTime> ring_free_;            // per leaf ring + backbone at [K]
   std::vector<SimTime> tx_free_;              // per global node
+  std::deque<Chain> chain_pool_;              // stable-address chain states
+  Chain* chain_free_ = nullptr;
   Counter packets_, backbone_packets_;
 };
 

@@ -159,29 +159,77 @@ SimTime Ring::hop_time(const Walk& w, u32 k) const {
 }
 
 void Ring::walk_hop(Walk* w) {
-  const u32 dst = (w->src + w->k) % cfg_.nodes;
-  deliver(dst, w->word_addr, w->data(), w->nwords);
-  if (w->k < w->last_hop) {
-    ++w->k;
-    const SimTime t = hop_time(*w, w->k);
-    if (partitioned()) [[unlikely]] {
-      // Next hop executes on the downstream node's shard. Each hop is a
-      // full hop_latency (== the configured lookahead) in the future, so a
-      // cross-shard hop always clears the current window barrier.
-      sim_.post_at_shard(shard_of_[(w->src + w->k) % cfg_.nodes], t,
-                         [this, w] { walk_hop(w); });
-    } else {
-      sim_.post_at(t, [this, w] { walk_hop(w); });
+  // A real hop event, executing at hop w->k's own tick.
+  deliver((w->src + w->k) % cfg_.nodes, w->word_addr, w->data(), w->nwords);
+  walk_advance(w);
+}
+
+void Ring::walk_advance(Walk* w) {
+  // Hop w->k has been delivered. Keep walking *inside this event* for as
+  // long as the next hop is provably unobservable: same shard, no IRQ
+  // watch on the written range at the target (a handler must fire at its
+  // own hop time), and strictly below the kernel's inline-apply bound --
+  // every other observer (queued event, process resume, window barrier,
+  // run_until return) runs at or past that bound, and no event can ever be
+  // created below it, so applying the bank update early is invisible.
+  // Virtual-time results are bit-identical to the per-hop event posting;
+  // only the host event count drops: a quiet-ring broadcast at N=256
+  // coalesces all 255 downstream deliveries into one event (per shard,
+  // when partitioned). The bound is recomputed every hop because the hop
+  // just applied may have tightened it (an IRQ handler on the *current*
+  // hop can post same-window events).
+  //
+  // When a hop *does* need a real event, post it from the previous hop's
+  // own tick -- the tick the one-event-per-hop reference posted it from --
+  // bouncing through a relay event first if this event has coalesced past
+  // that tick. Insertion order is the tiebreak for same-picosecond events,
+  // so posting the hop from anywhere earlier would let it jump ahead of
+  // equal-time observers (a poll read, a seq_flush) that the reference
+  // ordered before it. The relay's own tick is below the bound, so it
+  // collides with nothing.
+  for (;;) {
+    if (w->k >= w->last_hop) {
+      if (deferred()) [[unlikely]] {
+        // The freelist belongs to the injection spine (coordinator); park
+        // the walk on this shard's lane until the barrier reclaims it.
+        lanes_[sim_.current_shard()].released.push_back(w);
+        return;
+      }
+      release_walk(w);
+      return;
     }
-    return;
+    const SimTime t_prev = hop_time(*w, w->k);
+    const u32 next_k = w->k + 1;
+    const u32 next = (w->src + next_k) % cfg_.nodes;
+    const SimTime t = hop_time(*w, next_k);
+    const bool cross =
+        partitioned() && shard_of_[next] != sim_.current_shard();
+    const IrqRange& r = irq_[next];
+    const bool irq_hit =
+        r.handler && w->word_addr < r.hi && w->word_addr + w->nwords > r.lo;
+    const bool observable = t >= sim_.inline_apply_bound();
+    if (cross || irq_hit || observable) [[unlikely]] {
+      if ((cross || observable) && sim_.now() != t_prev) {
+        // An IRQ-only stop below the bound needs no relay: ticks below the
+        // bound stay event-free, so nothing can tie with the hop event.
+        sim_.post_at(t_prev, [this, w] { walk_advance(w); });
+        return;
+      }
+      w->k = next_k;
+      if (partitioned()) [[unlikely]] {
+        // A cross-shard hop is a full hop_latency (== the configured
+        // lookahead) in the future, so it always clears the window barrier.
+        sim_.post_at_shard(shard_of_[next], t, [this, w] { walk_hop(w); });
+      } else {
+        sim_.post_at(t, [this, w] { walk_hop(w); });
+      }
+      return;
+    }
+    // Inline-apply hop next_k at its (future) time t and keep walking.
+    w->k = next_k;
+    deliver(next, w->word_addr, w->data(), w->nwords);
+    sim_.note_inline_apply(t);
   }
-  if (deferred()) [[unlikely]] {
-    // The freelist belongs to the injection spine (coordinator); park the
-    // walk on this shard's lane until the barrier reclaims it.
-    lanes_[sim_.current_shard()].released.push_back(w);
-    return;
-  }
-  release_walk(w);
 }
 
 Ring::Walk* Ring::acquire_walk() {

@@ -188,6 +188,7 @@ class Ring {
   /// redundant ring when the path was broken at injection).
   SimTime hop_time(const Walk& w, u32 k) const;
   void walk_hop(Walk* w);
+  void walk_advance(Walk* w);
   void post_first_hop(Walk* w);
 
   Walk* acquire_walk();

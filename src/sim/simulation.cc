@@ -338,6 +338,9 @@ void Simulation::run() {
     }
   }
   running_ = false;
+  // A coalesced tail may have applied deliveries past the last event; the
+  // run still ends at the last delivery's virtual time.
+  if (home_.now < home_.inline_mark) home_.now = home_.inline_mark;
   // Queue drained: every process must have finished, otherwise we deadlocked.
   check_deadlock();
 }
@@ -353,6 +356,13 @@ bool Simulation::run_until(SimTime t) {
     return more;
   }
   obs::Sink::Scope obs_scope(*sink_);
+  // The caller observes state the moment this returns, so nothing may be
+  // applied inline past the boundary (inline_apply_bound honors this cap).
+  struct CapReset {
+    SimTime* cap;
+    ~CapReset() { *cap = kNever; }
+  } cap_reset{&home_.inline_cap};
+  home_.inline_cap = t + 1;
   while (!home_.queue.empty() && home_.queue.next_time() <= t) {
     step();
     check_time_limit();  // the safety valve guards bounded runs too
@@ -444,6 +454,13 @@ void Simulation::drain_window(Shard& s, SimTime wend) {
   SimTime cap = wend;
   usize ob_seen = s.outbox.size();
   s.horizon = kNever;
+  // Publish the live cap so inline_apply_bound() keeps coalesced inline
+  // applications inside this window (reset on every exit path).
+  struct CapReset {
+    SimTime* cap;
+    ~CapReset() { *cap = kNever; }
+  } cap_reset{&s.inline_cap};
+  s.inline_cap = cap;
   EventQueue::Popped ev;
   try {
     while (!s.queue.empty() && s.queue.next_time() < cap) {
@@ -458,6 +475,7 @@ void Simulation::drain_window(Shard& s, SimTime wend) {
       for (; ob_seen < s.outbox.size(); ++ob_seen)
         cap = std::min(cap, s.outbox[ob_seen].t + look);
       if (s.horizon != kNever) cap = std::min(cap, s.horizon + look);
+      s.inline_cap = cap;
     }
   } catch (const ProcessError& e) {
     s.proc_error = true;
@@ -570,10 +588,17 @@ void Simulation::run_parallel(SimTime until) {
       if (until >= 0 && wend > until) wend = until + 1;
       drain_window(shard_at(last), wend);
     } else {
+      // Work-stealing window: publish the shard set as a claimable mask
+      // (release store -- a claimer's acq_rel fetch_and synchronizes with
+      // it directly, so window_end_/pending_ stored beforehand are visible
+      // even to a laggard worker arriving from the previous epoch), wake
+      // the workers, then compete for claims like everyone else. A worker
+      // that drains its claim early steals the next unclaimed shard, so a
+      // skewed partition no longer serializes on its hottest shard.
       window_end_.store(wend, std::memory_order_relaxed);
-      window_mask_.store(mask, std::memory_order_relaxed);
-      pending_.store(static_cast<u32>(std::popcount(mask >> 1)),
+      pending_.store(static_cast<u32>(std::popcount(mask)),
                      std::memory_order_relaxed);
+      unclaimed_mask_.store(mask, std::memory_order_release);
       {
         // Lock/unlock pairs with the cv predicate check so a worker that
         // just decided to sleep cannot miss this epoch.
@@ -581,7 +606,7 @@ void Simulation::run_parallel(SimTime until) {
         epoch_.fetch_add(1, std::memory_order_release);
       }
       gate_cv_.notify_all();
-      if (mask & 1) drain_window(home_, wend);
+      drain_claimed(0);
       for (u32 spins = 0; pending_.load(std::memory_order_acquire) != 0;) {
         if (++spins >= 256) {
           std::this_thread::yield();
@@ -603,9 +628,12 @@ void Simulation::run_parallel(SimTime until) {
   }
 
   // Converge the shard clocks so now() reports the global end time and
-  // later posts on any shard are in its future.
+  // later posts on any shard are in its future. inline_mark folds in
+  // coalesced deliveries that ran ahead of the shard's event clock.
   SimTime tmax = 0;
-  each_shard([&](const Shard& s) { tmax = std::max(tmax, s.now); });
+  each_shard([&](const Shard& s) {
+    tmax = std::max({tmax, s.now, s.inline_mark});
+  });
   each_shard([&](Shard& s) { s.now = tmax; });
   throw_shard_failure();
 }
@@ -618,9 +646,17 @@ void Simulation::start_workers() {
   // the rendezvous even on single-core machines.
   const char* force = std::getenv("SCRNET_SIM_FORCE_WORKERS");
   const bool forced = force != nullptr && force[0] != '\0' && force[0] != '0';
-  if (!forced && std::thread::hardware_concurrency() <= 1) return;
-  workers_.reserve(jobs_ - 1);
-  for (u32 i = 1; i < jobs_; ++i) {
+  u32 nworkers = jobs_ - 1;
+  if (!forced) {
+    const u32 hw = std::thread::hardware_concurrency();
+    if (hw <= 1) return;
+    // Stealing decouples workers from shards: with more shards than cores
+    // (jobs > hw), hw-1 workers plus the coordinator claim the shard set
+    // dynamically instead of oversubscribing one thread per shard.
+    nworkers = std::min(nworkers, hw - 1);
+  }
+  workers_.reserve(nworkers);
+  for (u32 i = 1; i <= nworkers; ++i) {
     workers_.emplace_back([this, i] { worker_main(i); });
   }
 }
@@ -638,8 +674,30 @@ void Simulation::stop_workers() {
   stop_workers_.store(false, std::memory_order_relaxed);
 }
 
-void Simulation::worker_main(u32 shard_idx) {
-  Shard& mine = shard_at(shard_idx);
+/// Claim-drain loop shared by the coordinator and every worker: pick an
+/// unclaimed shard (preferring bits at or above `start` so participants
+/// fan out before colliding), win it with an atomic fetch_and, drain its
+/// window, repeat until no claims remain. window_end_ is read only *after*
+/// a successful claim: the claim synchronizes with the mask's release
+/// store, and the coordinator cannot publish a new window while this one
+/// still has undrained claims (it spins on pending_), so the value always
+/// belongs to the window the claimed bit came from -- even when the
+/// claimer is a laggard that loaded its first `avail` in a previous epoch.
+void Simulation::drain_claimed(u32 start) {
+  for (;;) {
+    const u64 avail = unclaimed_mask_.load(std::memory_order_acquire);
+    if (avail == 0) return;
+    const u64 hi = avail & (~u64{0} << start);
+    const u32 i = static_cast<u32>(std::countr_zero(hi != 0 ? hi : avail));
+    const u64 bit = u64{1} << i;
+    if (unclaimed_mask_.fetch_and(~bit, std::memory_order_acq_rel) & bit) {
+      drain_window(shard_at(i), window_end_.load(std::memory_order_relaxed));
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+}
+
+void Simulation::worker_main(u32 worker_idx) {
   u64 seen = 0;
   for (;;) {
     u64 e = epoch_.load(std::memory_order_acquire);
@@ -661,10 +719,7 @@ void Simulation::worker_main(u32 shard_idx) {
     }
     if (stop_workers_.load(std::memory_order_relaxed)) return;
     seen = e;
-    if ((window_mask_.load(std::memory_order_relaxed) >> shard_idx) & 1) {
-      drain_window(mine, window_end_.load(std::memory_order_relaxed));
-      pending_.fetch_sub(1, std::memory_order_acq_rel);
-    }
+    drain_claimed(worker_idx % jobs_);
   }
 }
 

@@ -203,6 +203,19 @@ struct Shard {
   /// how far an extended solo window may run.
   SimTime horizon = std::numeric_limits<SimTime>::max();
 
+  /// Exclusive bound on virtual times this shard may *apply inline* during
+  /// the currently executing event (see Simulation::inline_apply_bound):
+  /// the live drain-window cap during a parallel window, the boundary
+  /// during a sequential run_until, max() otherwise.
+  SimTime inline_cap = std::numeric_limits<SimTime>::max();
+
+  /// Latest virtual time this shard has applied inline (coalesced walk /
+  /// chain deliveries run ahead of the event clock). The run's final clock
+  /// convergence takes the max of this and `now`, so a run whose *tail* is
+  /// coalesced still ends at the last delivery's virtual time exactly like
+  /// the one-event-per-hop reference.
+  SimTime inline_mark = 0;
+
   // Deferred failure state (rethrown by the coordinator between windows).
   std::string error;
   bool proc_error = false;  // error came from a ProcessError
@@ -354,6 +367,31 @@ class Simulation {
     }
   }
 
+  /// Exclusive upper bound on virtual times the currently executing event
+  /// may *apply inline* -- mutate state timestamped in the future without
+  /// posting an event for it. Sound because every other observer (a queued
+  /// event, a process resume, a run_until return, a parallel-window
+  /// barrier) runs at or after this bound, so a state change timestamped
+  /// strictly below it is applied before anything could have read the old
+  /// value. The ring's coalesced packet walk uses this to deliver a run of
+  /// same-shard hops inside one pooled event. Recomputed after every
+  /// inline application: the applied work may itself have posted events
+  /// (e.g. an IRQ handler's reaction) that tighten the bound.
+  SimTime inline_apply_bound() {
+    Shard& s = ctx_shard();
+    SimTime bound = s.inline_cap;
+    if (!s.queue.empty()) bound = std::min(bound, s.queue.next_time());
+    if (time_limit_ > 0) bound = std::min(bound, time_limit_ + 1);
+    return bound;
+  }
+
+  /// Record that the calling context applied state with virtual time `t`
+  /// inline (t must be below inline_apply_bound()).
+  void note_inline_apply(SimTime t) {
+    Shard& s = ctx_shard();
+    if (s.inline_mark < t) s.inline_mark = t;
+  }
+
   u64 events_executed() const;
   usize live_processes() const;
 
@@ -444,7 +482,8 @@ class Simulation {
   void throw_shard_failure();
   void start_workers();
   void stop_workers();
-  void worker_main(u32 shard_idx);
+  void worker_main(u32 worker_idx);
+  void drain_claimed(u32 start);
   void unwind_procs(Shard& s);
 
   const u64 token_;  // unique per Simulation (validates tls_ctx_ entries)
@@ -459,19 +498,24 @@ class Simulation {
   std::vector<Shard::CrossEvent> merge_buf_;   // scratch, capacity reused
   bool running_ = false;
 
-  // Worker rendezvous: the coordinator publishes (window_end_, window_mask_)
-  // then bumps epoch_ (release); workers spin-then-sleep on epoch_ and
-  // signal completion by decrementing pending_. The window fields are
-  // relaxed atomics: epoch_'s release/acquire pair orders the values a
-  // worker acts on, but a worker masked out of the current window loops
-  // straight back to its epoch wait, so its (discarded) reads would
-  // otherwise race the coordinator's next-window stores.
+  // Worker rendezvous with work stealing: the coordinator stores
+  // window_end_ and pending_, then publishes the window's shard set with a
+  // *release* store to unclaimed_mask_ and bumps epoch_ to wake sleepers.
+  // Every participant (coordinator included) then runs drain_claimed():
+  // claim a shard bit with an acq_rel fetch_and, drain that whole shard's
+  // window, decrement pending_, repeat until the mask is empty -- so a
+  // shard that drains early immediately steals the next unclaimed shard
+  // instead of idling out the window. The claim RMW synchronizes with the
+  // mask's release store directly (not via epoch_), which makes a stale
+  // claimer from the previous window safe: whatever bit its fetch_and
+  // wins belongs to the *current* window, whose window_end_ cannot change
+  // while the coordinator still spins on pending_ != 0.
   std::vector<std::thread> workers_;
   std::atomic<u64> epoch_{0};
   std::atomic<u32> pending_{0};
   std::atomic<bool> stop_workers_{false};
   std::atomic<SimTime> window_end_{0};
-  std::atomic<u64> window_mask_{0};
+  std::atomic<u64> unclaimed_mask_{0};
   std::mutex gate_mu_;
   std::condition_variable gate_cv_;
 };

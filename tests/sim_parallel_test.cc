@@ -257,5 +257,66 @@ TEST(SimParallel, RunUntilStopsAtBoundaryOnEveryShard) {
   for (u32 s = 0; s < 4; ++s) EXPECT_EQ(sharded[s], 200u) << "shard " << s;
 }
 
+// -- work stealing / skewed partitions --------------------------------------
+
+/// RAII environment flag for the harness/scheduler knobs below.
+struct EnvFlag {
+  const char* name;
+  explicit EnvFlag(const char* n) : name(n) { ::setenv(n, "1", 1); }
+  ~EnvFlag() { ::unsetenv(name); }
+};
+
+TEST(SimParallel, SkewedPartitionBitExact) {
+  // SCRNET_SIM_SKEW piles every node but shards-1 onto shard 0: one hot
+  // shard, a tail of nearly idle ones. The cut must not leak into virtual
+  // time: every skewed sharded run matches the jobs=1 reference bit for
+  // bit, exactly like the balanced block partition does.
+  const std::vector<SimTime> ref = bbp_ring_times(1, /*stagger=*/true);
+  EnvFlag skew("SCRNET_SIM_SKEW");
+  for (u32 jobs : {2u, 4u, 8u}) {
+    EXPECT_EQ(bbp_ring_times(jobs, /*stagger=*/true), ref)
+        << "skewed sim_jobs=" << jobs;
+  }
+}
+
+TEST(SimParallel, SkewedPartitionTieArbitrationMatchesBlock) {
+  // Same-picosecond arbitration resolves through the spine's (time, node,
+  // kind) replay, which never looks at the partition -- so a skewed cut
+  // must reproduce the balanced cut's tie ordering exactly.
+  const std::vector<SimTime> ref = bbp_ring_times(2, /*stagger=*/false);
+  EnvFlag skew("SCRNET_SIM_SKEW");
+  for (u32 jobs : {2u, 4u, 8u}) {
+    EXPECT_EQ(bbp_ring_times(jobs, /*stagger=*/false), ref)
+        << "skewed sim_jobs=" << jobs;
+  }
+}
+
+TEST(SimParallel, StealDuringWindowPreservesMergeOrder) {
+  // Window drains are claimed from a shared mask: whichever thread claims
+  // a shard runs its whole window, and an early-draining worker steals the
+  // next unclaimed shard. The merge contract -- ties by (timestamp, source
+  // shard, send order) -- is fixed at the barrier, so the arrival log must
+  // be identical whether the windows ran inline (no workers on this host)
+  // or were stolen across forced worker threads.
+  const std::vector<int> inline_log = cross_shard_log(4);
+  EnvFlag force("SCRNET_SIM_FORCE_WORKERS");
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(cross_shard_log(4), inline_log) << "round " << round;
+  }
+}
+
+TEST(SimParallel, StealingBitExactWithSkewAndForcedWorkers) {
+  // The adversarial combination: a deliberately skewed partition (so the
+  // claim mask is dominated by one hot shard) drained by real worker
+  // threads. Still bit-identical to the sequential reference.
+  const std::vector<SimTime> ref = bbp_ring_times(1, /*stagger=*/true);
+  EnvFlag force("SCRNET_SIM_FORCE_WORKERS");
+  EnvFlag skew("SCRNET_SIM_SKEW");
+  for (u32 jobs : {4u, 8u}) {
+    EXPECT_EQ(bbp_ring_times(jobs, /*stagger=*/true), ref)
+        << "skewed+stolen sim_jobs=" << jobs;
+  }
+}
+
 }  // namespace
 }  // namespace scrnet
